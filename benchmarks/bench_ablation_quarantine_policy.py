@@ -1,0 +1,76 @@
+"""Ablation (§7.2): quarantine policy tuning.
+
+The paper notes its single policy — revoke when quarantine exceeds 1/4 of
+the total heap, floor 8 MiB — "is not particularly tuned". This ablation
+sweeps the fraction and the floor on a churn-heavy workload and shows the
+classic CHERIvoke trade-off: a larger quarantine means fewer, bigger
+revocations (less CPU/bus spent sweeping) at the cost of more resident
+memory.
+"""
+
+from __future__ import annotations
+
+from _harness import report
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.analysis.tables import format_table
+from repro.core.config import RevokerKind
+from repro.core.experiment import run_experiment
+from repro.workloads.churn import ChurnProfile, ChurnWorkload, SizeMix
+
+FRACTIONS = (0.125, 0.25, 0.5)
+FLOORS = (16 << 10, 64 << 10, 256 << 10)
+
+
+def _workload(policy: QuarantinePolicy) -> ChurnWorkload:
+    profile = ChurnProfile(
+        name="policy-ablation",
+        heap_bytes=1 << 20,
+        churn_bytes=16 << 20,
+        size_mix=SizeMix((64, 256, 2048), (0.4, 0.4, 0.2)),
+        pointer_slots=2,
+        compute_per_iter=8_000,
+        seed=13,
+    )
+    return ChurnWorkload(profile, policy)
+
+
+def test_ablation_quarantine_policy(benchmark):
+    rows = []
+    by_fraction = {}
+    for fraction in FRACTIONS:
+        policy = QuarantinePolicy(heap_fraction=fraction, min_bytes=16 << 10)
+        r = run_experiment(_workload(policy), RevokerKind.RELOADED)
+        by_fraction[fraction] = r
+        rows.append(
+            [f"fraction={fraction}", r.revocations, r.pages_swept,
+             f"{r.peak_rss_bytes >> 10}KiB", f"{r.wall_seconds:.3f}s"]
+        )
+    for floor in FLOORS:
+        policy = QuarantinePolicy(heap_fraction=0.25, min_bytes=floor)
+        r = run_experiment(_workload(policy), RevokerKind.RELOADED)
+        rows.append(
+            [f"floor={floor >> 10}KiB", r.revocations, r.pages_swept,
+             f"{r.peak_rss_bytes >> 10}KiB", f"{r.wall_seconds:.3f}s"]
+        )
+    text = format_table(
+        ["policy", "revocations", "pages swept", "peak RSS", "wall"],
+        rows,
+        title="Ablation §7.2 — quarantine policy sweep (Reloaded, churn workload)",
+    )
+    report("ablation_quarantine_policy", text)
+
+    # The trade-off: larger quarantine fraction => fewer revocations and
+    # less sweep work, but a larger peak RSS.
+    lo, hi = by_fraction[FRACTIONS[0]], by_fraction[FRACTIONS[-1]]
+    assert hi.revocations < lo.revocations
+    assert hi.pages_swept < lo.pages_swept
+    assert hi.peak_rss_bytes >= lo.peak_rss_bytes
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            _workload(QuarantinePolicy(min_bytes=64 << 10)), RevokerKind.RELOADED
+        ),
+        rounds=1,
+        iterations=1,
+    )

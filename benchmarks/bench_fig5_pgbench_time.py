@@ -1,0 +1,59 @@
+"""Figure 5: normalized time overheads for pgbench.
+
+Paper shape (§5.2): Reloaded offers lower wall-clock and *total* CPU time
+overheads than Cornucopia, while the overheads imposed on the server
+thread itself are nearly identical; the workload is not CPU bound, so CPU
+overheads can exceed elapsed-time overheads (the server expands into its
+idle time).
+"""
+
+from __future__ import annotations
+
+from _harness import PGBENCH_TX, report
+
+from repro.analysis.tables import format_table
+from repro.core.config import RevokerKind
+from repro.core.experiment import run_experiment
+from repro.workloads.pgbench import PgBenchWorkload
+
+STRATEGIES = (
+    RevokerKind.PAINT_SYNC,
+    RevokerKind.CHERIVOKE,
+    RevokerKind.CORNUCOPIA,
+    RevokerKind.RELOADED,
+)
+
+
+def test_fig5_pgbench_time_overheads(pgbench_results, benchmark):
+    base = pgbench_results[RevokerKind.NONE]
+    rows = []
+    measured = {}
+    for kind in STRATEGIES:
+        r = pgbench_results[kind]
+        wall = r.wall_cycles / base.wall_cycles - 1.0
+        server_cpu = r.app_cpu_cycles / base.app_cpu_cycles - 1.0
+        total_cpu = r.total_cpu_cycles / base.total_cpu_cycles - 1.0
+        measured[kind] = (wall, server_cpu, total_cpu)
+        rows.append(
+            [kind.value, f"{wall * 100:+.1f}%", f"{server_cpu * 100:+.1f}%",
+             f"{total_cpu * 100:+.1f}%"]
+        )
+    text = format_table(
+        ["condition", "wall clock", "server-thread CPU", "total CPU"],
+        rows,
+        title=f"Fig. 5 — pgbench normalized time overheads ({PGBENCH_TX} transactions)",
+    )
+    report("fig5_pgbench_time", text)
+
+    # Shape: Reloaded <= Cornucopia on wall and total CPU; server-thread
+    # CPU nearly identical between the two.
+    rel, cor = measured[RevokerKind.RELOADED], measured[RevokerKind.CORNUCOPIA]
+    assert rel[0] <= cor[0] + 0.02
+    assert rel[2] <= cor[2] + 0.02
+    assert abs(rel[1] - cor[1]) < 0.10
+
+    benchmark.pedantic(
+        lambda: run_experiment(PgBenchWorkload(transactions=100), RevokerKind.RELOADED),
+        rounds=1,
+        iterations=1,
+    )

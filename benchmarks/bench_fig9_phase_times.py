@@ -1,0 +1,127 @@
+"""Figure 9: distribution of revocation phase times across a
+representative subset of benchmarks.
+
+Paper shape (§5.4): per benchmark, the boxplots show (left to right)
+CHERIvoke's single world-stopped phase; Cornucopia's concurrent and
+world-stopped phases (STW roughly a tenth of its concurrent phase);
+Reloaded's world-stopped (tens of microseconds for single-threaded
+workloads — three or more orders below Cornucopia's on large-memory
+workloads) and concurrent phases; and the cumulative per-epoch foreground
+fault time on the application thread. The multi-threaded gRPC workload
+pushes Reloaded's STW to a few hundred microseconds of inter-core
+synchronization, still over an order below Cornucopia's.
+"""
+
+from __future__ import annotations
+
+from _harness import report
+
+from repro.analysis.stats import BoxStats, median
+from repro.analysis.tables import format_table
+from repro.core.config import RevokerKind
+from repro.core.experiment import run_experiment
+from repro.machine.costs import cycles_to_micros
+from repro.workloads import spec
+
+SPEC_SUBSET = (("astar", "lakes"), ("omnetpp", "ref"), ("xalancbmk", "ref"),
+               ("gobmk", "trevord"), ("hmmer", "nph3"))
+STRATEGIES = (RevokerKind.CHERIVOKE, RevokerKind.CORNUCOPIA, RevokerKind.RELOADED)
+
+
+def _phase_us(result, kind_filter: str) -> list[float]:
+    return [
+        cycles_to_micros(p.duration)
+        for e in result.epoch_records
+        for p in e.phases
+        if p.kind == kind_filter
+    ]
+
+
+def _fault_us(result) -> list[float]:
+    return [cycles_to_micros(e.fault_cycles) for e in result.epoch_records]
+
+
+def test_fig9_revocation_phase_times(spec_results, pgbench_results, grpc_results, benchmark):
+    rows = []
+    checks = {}
+
+    def add_rows(label: str, by_kind):
+        entry = {}
+        for kind in STRATEGIES:
+            result = by_kind(kind)
+            if result is None:
+                continue
+            stw = _phase_us(result, "stw")
+            conc = _phase_us(result, "concurrent")
+            if stw:
+                entry[(kind, "stw")] = median(stw)
+                box = BoxStats.of(stw)
+                rows.append(
+                    [label, kind.value, "stw", f"{box.median:.1f}",
+                     f"{box.q1:.1f}", f"{box.q3:.1f}", f"{box.maximum:.1f}"]
+                )
+            if conc:
+                entry[(kind, "concurrent")] = median(conc)
+                box = BoxStats.of(conc)
+                rows.append(
+                    [label, kind.value, "concurrent", f"{box.median:.1f}",
+                     f"{box.q1:.1f}", f"{box.q3:.1f}", f"{box.maximum:.1f}"]
+                )
+            if kind is RevokerKind.RELOADED:
+                faults = [f for f in _fault_us(result)]
+                if faults:
+                    box = BoxStats.of(faults)
+                    rows.append(
+                        [label, "reloaded", "fault-sum", f"{box.median:.1f}",
+                         f"{box.q1:.1f}", f"{box.q3:.1f}", f"{box.maximum:.1f}"]
+                    )
+        checks[label] = entry
+
+    for bench, inp in SPEC_SUBSET:
+        add_rows(f"{bench}.{inp}", lambda k, b=bench, i=inp: spec_results[(b, i, k)])
+    add_rows("pgbench", lambda k: pgbench_results[k])
+    add_rows("grpc-qps", lambda k: grpc_results[k][1] if k in grpc_results else None)
+
+    text = format_table(
+        ["benchmark", "strategy", "phase", "median us", "q1 us", "q3 us", "max us"],
+        rows,
+        title="Fig. 9 — revocation phase time distributions (microseconds)",
+    )
+    report("fig9_phase_times", text)
+
+    # Shape assertions on the big-memory workloads (pgbench carries the
+    # strongest contrast — its resident set is the largest relative to
+    # its scale; the SPEC surrogates are scaled harder, compressing the
+    # absolute gaps while preserving the ordering):
+    for label in ("xalancbmk.ref", "omnetpp.ref", "pgbench"):
+        entry = checks[label]
+        cv_stw = entry[(RevokerKind.CHERIVOKE, "stw")]
+        co_stw = entry[(RevokerKind.CORNUCOPIA, "stw")]
+        rl_stw = entry[(RevokerKind.RELOADED, "stw")]
+        co_conc = entry[(RevokerKind.CORNUCOPIA, "concurrent")]
+        # Cornucopia's pause is a fraction of its concurrent phase
+        # (the paper validates "on the order of a tenth").
+        assert co_stw < 0.8 * co_conc
+        # Ordering: Reloaded's pause below Cornucopia's, far below
+        # CHERIvoke's.
+        assert rl_stw * 2 < co_stw
+        assert rl_stw * 15 < cv_stw
+        # Reloaded single-threaded STW is tens of microseconds.
+        assert rl_stw < 200.0
+    # pgbench, the least-scaled workload, shows the paper's
+    # orders-of-magnitude separation directly.
+    pg = checks["pgbench"]
+    assert pg[(RevokerKind.RELOADED, "stw")] * 20 < pg[(RevokerKind.CORNUCOPIA, "stw")]
+    assert pg[(RevokerKind.RELOADED, "stw")] * 100 < pg[(RevokerKind.CHERIVOKE, "stw")]
+    # gRPC: multi-threaded quiescing inflates Reloaded's STW, but it
+    # stays far below Cornucopia's.
+    g = checks["grpc-qps"]
+    assert g[(RevokerKind.RELOADED, "stw")] < g[(RevokerKind.CORNUCOPIA, "stw")]
+
+    benchmark.pedantic(
+        lambda: run_experiment(
+            spec.workload("gobmk", "trevord", scale=512), RevokerKind.CORNUCOPIA
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,92 @@
+"""Table 2: revocation rate statistics for Reloaded across a
+representative set of benchmarks.
+
+Paper shape (§5.5): the RSS-heavy SPEC workloads cycle orders of
+magnitude more address space through the allocator than they keep live
+(xalancbmk F:A 110, omnetpp 207) yet revoke less than ~1.5 times per
+second; pgbench cycles nearly as much address space as xalancbmk over a
+heap ~4% the size — its freed:allocated ratio and its revocations per
+freed megabyte are enormously higher than any SPEC workload's. (Absolute
+revocations-per-wall-second are not comparable across our workload
+families: the SPEC surrogates compress simulated time far more than
+pgbench, whose latencies are kept in real milliseconds for figs. 5-7 —
+see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from _harness import SPEC_SCALE, report
+
+#: Table 2's cross-workload ratios (freed:allocated, revocations per
+#: freed byte) only line up when every row runs at the same scale, so
+#: this bench runs its own pgbench at SPEC_SCALE rather than reusing the
+#: figs. 5-7 run (which keeps real-millisecond latencies at scale 2).
+TABLE2_PGBENCH_TX = 400
+
+from repro.analysis.tables import format_table
+from repro.core.config import RevokerKind
+from repro.core.experiment import run_experiment
+from repro.workloads import spec
+from repro.workloads.pgbench import PgBenchWorkload
+
+ROWS = spec.TABLE2_ROWS
+
+
+def test_table2_revocation_rate_statistics(spec_results, grpc_results, benchmark):
+    rows = []
+    stats = {}
+
+    def add(label, r):
+        mean_alloc_mib = r.mean_alloc_bytes / (1 << 20)
+        freed_mib = r.sum_freed_bytes / (1 << 20)
+        fa = r.freed_to_alloc_ratio
+        revs = r.revocations
+        rev_per_s = r.revocations_per_second
+        rev_per_mib = revs / freed_mib if freed_mib else 0.0
+        stats[label] = (mean_alloc_mib, freed_mib, fa, revs, rev_per_s, rev_per_mib)
+        rows.append(
+            [label, f"{mean_alloc_mib:.2f}", f"{freed_mib:.1f}", f"{fa:.1f}",
+             revs, f"{rev_per_s:.2f}", f"{rev_per_mib:.2f}"]
+        )
+
+    for bench, inp in ROWS:
+        add(f"{bench} {inp}", spec_results[(bench, inp, RevokerKind.RELOADED)])
+    pg = run_experiment(
+        PgBenchWorkload(transactions=TABLE2_PGBENCH_TX, scale=SPEC_SCALE),
+        RevokerKind.RELOADED,
+    )
+    add("pgbench", pg)
+    add("gRPC QPS", grpc_results[RevokerKind.RELOADED][1])
+
+    text = format_table(
+        ["benchmark", "mean alloc MiB", "sum freed MiB", "F:A",
+         "revocations", "rev/sec", "rev/freed-MiB"],
+        rows,
+        title="Table 2 — Reloaded revocation rate statistics (scaled; see EXPERIMENTS.md)",
+    )
+    report("table2_revocation_rates", text)
+
+    # Shape assertions:
+    # 1. xalancbmk and omnetpp have very large F:A ratios; gobmk small.
+    assert stats["xalancbmk ref"][2] > 20
+    assert stats["omnetpp ref"][2] > 40
+    assert stats["gobmk trevord"][2] < 10
+    # 2. pgbench's F:A dwarfs every SPEC row's (paper: 2534 vs <=207).
+    #    pgbench's F:A grows linearly with run length (constant freed
+    #    bytes per transaction), so extrapolate to the paper's 170,000
+    #    transactions before comparing.
+    pg_fa_at_paper_length = stats["pgbench"][2] * (170_000 / TABLE2_PGBENCH_TX)
+    print(f"pgbench F:A extrapolated to 170k transactions: {pg_fa_at_paper_length:.0f}")
+    assert pg_fa_at_paper_length > 2 * max(stats[f"{b} {i}"][2] for b, i in ROWS)
+    # 3. pgbench revokes far more per freed megabyte than the RSS-heavy
+    #    SPEC rows (its quarantine limit is tiny next to theirs).
+    assert stats["pgbench"][5] > 3 * stats["xalancbmk ref"][5]
+    # 4. every revoking workload actually revoked.
+    for label, s in stats.items():
+        assert s[3] >= 1, f"{label} never revoked"
+
+    benchmark.pedantic(
+        lambda: run_experiment(PgBenchWorkload(transactions=60), RevokerKind.RELOADED),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,22 @@
+"""Session-scoped fixtures caching the experiment sweeps (see _harness)."""
+
+from __future__ import annotations
+
+import pytest
+
+import _harness
+
+
+@pytest.fixture(scope="session")
+def spec_results():
+    return _harness.compute_spec_results()
+
+
+@pytest.fixture(scope="session")
+def pgbench_results():
+    return _harness.compute_pgbench_results()
+
+
+@pytest.fixture(scope="session")
+def grpc_results():
+    return _harness.compute_grpc_results()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Allocation traces: record once, replay under every strategy.
+
+The CHERIvoke line of work began as a trace-driven limit study; this
+library keeps that methodology available. A trace is an ordered stream of
+allocator and memory events with stable object handles — capture it from
+any source (here: synthesized), validate it, serialize it to JSONL, and
+replay the identical request sequence under each revocation strategy to
+compare costs apples-to-apples.
+
+Run:  python examples/trace_replay.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import QuarantinePolicy, RevokerKind, run_experiment
+from repro.analysis import format_table
+from repro.core.experiment import ALL_KINDS
+from repro.machine.costs import cycles_to_micros
+from repro.workloads.trace import AllocationTrace, TraceWorkload, synthesize_trace
+
+
+def main() -> None:
+    # 1. Build (or capture) a trace and persist it.
+    trace = synthesize_trace(objects=400, churn=4000, seed=11)
+    trace.validate()
+    path = Path(tempfile.gettempdir()) / "repro-demo-trace.jsonl"
+    trace.save(path)
+    print(f"trace: {len(trace)} events -> {path}")
+    print(f"mix:   {trace.stats()}\n")
+
+    # 2. Reload it (e.g. on another machine / another day) and replay.
+    loaded = AllocationTrace.load(path)
+    rows = []
+    for kind in ALL_KINDS:
+        workload = TraceWorkload(
+            loaded, name="demo-trace",
+            quarantine_policy=QuarantinePolicy(min_bytes=32 << 10),
+        )
+        result = run_experiment(workload, kind)
+        pause = cycles_to_micros(max(result.stw_pauses)) if result.stw_pauses else 0.0
+        rows.append([
+            kind.value,
+            result.wall_cycles,
+            result.revocations,
+            f"{pause:.1f}us",
+            workload.stale_loads,
+        ])
+    print(format_table(
+        ["strategy", "wall cycles", "revocations", "max pause", "revoked-slot loads"],
+        rows,
+        title="identical trace, five strategies",
+    ))
+    print(
+        "\nEvery row replayed the same event stream; only the revocation\n"
+        "machinery differs. 'Revoked-slot loads' counts capability loads\n"
+        "that found their slot emptied — under the sweeping revokers these\n"
+        "are dangling pointers that died before they could be misused."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Demonstrate the security property: use-after-reallocation is dead.
+
+An attacker frees an object but hoards dangling capabilities to it in a
+heap slot, a register, and a kernel subsystem (§4.4), then churns the
+allocator until the memory is reused. Under a plain allocator the stale
+capabilities alias the new allocation — the classic heap UAF exploit
+primitive. Under any of the sweeping revokers, every one of those
+capabilities is untagged before the memory is ever reused (§2.2.2's
+guarantee); under paint+sync (quarantine without sweeping, §5) the
+attack works again, showing it really is revocation doing the work.
+
+Run:  python examples/uaf_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import RevokerKind, run_experiment
+from repro.analysis import format_table
+from repro.core.experiment import ALL_KINDS
+from repro.workloads.adversarial import UafAttacker
+
+
+def main() -> None:
+    print("Attacking each configuration (20 rounds of hoard-free-churn-probe)...\n")
+    rows = []
+    for kind in ALL_KINDS:
+        attacker = UafAttacker(rounds=20, churn_objects=100)
+        run_experiment(attacker, kind)
+        report = attacker.report
+        verdict = "VULNERABLE" if report.uar_hits else "safe"
+        where = ",".join(sorted(set(report.stale_sources))) or "-"
+        rows.append([
+            kind.value,
+            report.uar_hits,
+            report.uaf_reads,
+            report.revoked_probes,
+            where,
+            verdict,
+        ])
+    print(format_table(
+        ["condition", "UAR hits", "UAF reads", "revoked probes",
+         "stale pointer sources", "verdict"],
+        rows,
+        title="Use-after-free attack outcomes per condition",
+    ))
+    print(
+        "\nReading the table:\n"
+        "- 'UAR hits' are dereferences of *reallocated* memory through a stale\n"
+        "  capability: the exploitable condition. Zero under every sweeping\n"
+        "  revoker, including from kernel hoards and register files.\n"
+        "- 'UAF reads' touch memory that is freed but not yet reused: the\n"
+        "  paper's tolerated window (§2.2.2) — the object's lifetime is\n"
+        "  effectively extended to the next revocation epoch.\n"
+        "- paint+sync quarantines but never sweeps: reuse is delayed, not\n"
+        "  protected, and the attack lands.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

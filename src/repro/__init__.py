@@ -1,0 +1,38 @@
+"""Cornucopia Reloaded reproduction.
+
+A production-quality reproduction of *Cornucopia Reloaded: Load Barriers
+for CHERI Heap Temporal Safety* (Filardo et al., ASPLOS 2024) on a
+simulated CHERI machine: the three revocation strategies (CHERIvoke,
+Cornucopia, Cornucopia Reloaded), the CheriBSD-like kernel substrate they
+live in, the snmalloc/mrs allocation stack, and the paper's workloads and
+evaluation harness.
+
+Quickstart::
+
+    from repro import RevokerKind, SimulationConfig, run_experiment
+    from repro.workloads import spec
+
+    result = run_experiment(spec.workload("xalancbmk"),
+                            RevokerKind.RELOADED)
+    print(result.wall_cycles, result.stw_pauses)
+"""
+
+from repro.core.config import MachineConfig, QuarantinePolicy, RevokerKind, SimulationConfig
+from repro.core.experiment import compare_strategies, overhead, run_experiment
+from repro.core.metrics import RunResult
+from repro.core.simulation import Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "QuarantinePolicy",
+    "RevokerKind",
+    "RunResult",
+    "Simulation",
+    "SimulationConfig",
+    "compare_strategies",
+    "overhead",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""User-space allocation stack: snmalloc-like allocator, quarantine
+policy, the mrs shim, and the no-safety baseline shim."""
+
+from repro.alloc.baseline import BaselineShim
+from repro.alloc.mrs import MrsShim
+from repro.alloc.quarantine import Quarantine, QuarantinePolicy, SealedBatch
+from repro.alloc.snmalloc import (
+    CHUNK_BYTES,
+    LARGE_THRESHOLD,
+    SIZE_CLASSES,
+    FreedRegion,
+    SnMalloc,
+    size_class_of,
+)
+
+__all__ = [
+    "BaselineShim",
+    "CHUNK_BYTES",
+    "FreedRegion",
+    "LARGE_THRESHOLD",
+    "MrsShim",
+    "Quarantine",
+    "QuarantinePolicy",
+    "SIZE_CLASSES",
+    "SealedBatch",
+    "SnMalloc",
+    "size_class_of",
+]

@@ -1,0 +1,37 @@
+"""Baseline shim: snmalloc with immediate reuse (no temporal safety).
+
+The paper's baseline condition loads the same snmalloc shim as the test
+conditions but without mrs (§5): frees go straight back to the free lists.
+Exposes the same generator interface as :class:`repro.alloc.mrs.MrsShim`
+so workloads are oblivious to the condition they run under.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.alloc.snmalloc import SnMalloc
+from repro.machine.capability import Capability
+from repro.machine.cpu import Core
+from repro.machine.scheduler import CoreSlot
+
+
+class BaselineShim:
+    """Allocator shim with no quarantine: free means reusable."""
+
+    def __init__(self, alloc: SnMalloc) -> None:
+        self.alloc = alloc
+
+    def malloc(self, core: Core, slot: CoreSlot, nbytes: int) -> Generator:
+        cap, cycles = self.alloc.malloc(nbytes)
+        yield cycles
+        return cap
+
+    def free(self, core: Core, slot: CoreSlot, cap: Capability) -> Generator:
+        region, cycles = self.alloc.free(cap)
+        cycles += self.alloc.release(region)
+        yield cycles
+
+    @property
+    def quarantine_bytes(self) -> int:
+        return 0

@@ -1,0 +1,164 @@
+"""The mrs shim [25]: quarantine management between malloc and the revoker.
+
+mrs interposes on the allocator exactly as the paper's LD_PRELOAD shim
+does (§5): ``free`` paints the revocation bitmap and quarantines the
+region instead of releasing it; ``malloc`` applies the revocation-trigger
+policy and, when quarantine runs far over budget during an in-flight
+revocation, *blocks* the mutator (the §5.3 back-pressure behind gRPC's
+99.9th-percentile tails).
+
+A dedicated controller thread — the paper's per-process revocation thread,
+pinned to its own core for SPEC/pgbench and contending with the server for
+gRPC — waits for triggers, runs the installed revoker's epoch via the
+revocation syscall, and afterwards releases (unpaints and returns) every
+quarantine batch whose release epoch has arrived.
+
+All mutator-facing entry points are generators (they charge simulated
+cycles and may block); see :mod:`repro.machine.scheduler` for the
+convention.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.alloc.quarantine import Quarantine, QuarantinePolicy
+from repro.alloc.snmalloc import SnMalloc
+from repro.errors import SimulationError
+from repro.kernel.kernel import Kernel
+from repro.machine.capability import Capability
+from repro.machine.costs import GRANULE_BYTES
+from repro.machine.cpu import Core
+from repro.machine.scheduler import Block, CoreSlot, Event
+
+
+class MrsShim:
+    """Quarantine + revocation-policy shim over :class:`SnMalloc`."""
+
+    def __init__(
+        self,
+        alloc: SnMalloc,
+        kernel: Kernel,
+        policy: QuarantinePolicy | None = None,
+    ) -> None:
+        self.alloc = alloc
+        self.kernel = kernel
+        self.costs = kernel.machine.costs
+        self.policy = policy if policy is not None else QuarantinePolicy()
+        self.quarantine = Quarantine()
+        #: Pokes the controller when the trigger policy fires.
+        self.revoke_requested = Event("mrs-revoke-requested")
+        #: Broadcast after quarantine batches are released (unblocks
+        #: back-pressured mutators).
+        self.released = Event("mrs-released")
+        self._trigger_pending = False
+        self.revocations_triggered = 0
+        self.blocked_operations = 0
+        #: Allocated-heap sizes sampled at each trigger (table 2's
+        #: "Mean Alloc" column).
+        self.sampled_alloc_bytes: list[int] = []
+
+    # --- Policy ------------------------------------------------------------------
+
+    def _maybe_trigger(self, slot_time: int) -> None:
+        if self._trigger_pending:
+            return
+        if self.policy.should_trigger(self.alloc.allocated_bytes, self.quarantine.total_bytes):
+            self._trigger_pending = True
+            self.revocations_triggered += 1
+            self.sampled_alloc_bytes.append(self.alloc.allocated_bytes)
+            self.quarantine.sampled_bytes.append(self.quarantine.total_bytes)
+            self.kernel.machine.scheduler.signal(self.revoke_requested, at_time=slot_time)
+
+    def _back_pressure(self, slot: CoreSlot) -> Generator:
+        """Block the mutator while quarantine is more than twice over
+        budget with a revocation in flight (§5.3)."""
+        blocked = False
+        while (
+            self.quarantine.sealed
+            and self.policy.should_block(
+                self.alloc.allocated_bytes, self.quarantine.total_bytes
+            )
+        ):
+            if not blocked:
+                blocked = True
+                self.blocked_operations += 1
+            yield Block(self.released)
+
+    # --- Shadow bitmap traffic ---------------------------------------------------------
+
+    def _paint(self, core: Core, addr: int, nbytes: int) -> int:
+        """Paint a freed region; returns cycles (compute + shadow traffic)."""
+        granules = self.kernel.shadow.paint(addr, nbytes)
+        shadow_addr, shadow_len = self.kernel.shadow.shadow_span(addr, nbytes)
+        misses = core.cache.access_range(shadow_addr, shadow_len, write=True)
+        return (
+            granules * self.costs.paint_per_granule
+            + misses * self.costs.mem_miss
+            + self.costs.quarantine_bookkeeping
+        )
+
+    def _unpaint(self, core: Core, addr: int, nbytes: int) -> int:
+        self.kernel.shadow.unpaint(addr, nbytes)
+        shadow_addr, shadow_len = self.kernel.shadow.shadow_span(addr, nbytes)
+        misses = core.cache.access_range(shadow_addr, shadow_len, write=True)
+        return (
+            (nbytes // GRANULE_BYTES) * self.costs.paint_per_granule
+            + misses * self.costs.mem_miss
+        )
+
+    # --- Mutator surface ------------------------------------------------------------------
+
+    def malloc(self, core: Core, slot: CoreSlot, nbytes: int) -> Generator:
+        """Allocate; a generator yielding cycle costs, returning the
+        bounded capability."""
+        yield from self._back_pressure(slot)
+        cap, cycles = self.alloc.malloc(nbytes)
+        yield cycles
+        self._maybe_trigger(slot.time)
+        return cap
+
+    def free(self, core: Core, slot: CoreSlot, cap: Capability) -> Generator:
+        """Free: paint, quarantine, maybe trigger revocation."""
+        yield from self._back_pressure(slot)
+        region, cycles = self.alloc.free(cap)
+        yield cycles + self._paint(core, region.addr, region.size)
+        self.quarantine.add(region)
+        self._maybe_trigger(slot.time)
+
+    # --- The controller thread ----------------------------------------------------------------
+
+    def controller(self, core: Core, slot: CoreSlot) -> Generator:
+        """Daemon body: run revocations on demand and release quarantine.
+
+        Spawn with ``stops_for_stw=False`` — this thread *is* the one
+        driving the stop-the-world.
+        """
+        revoker = self.kernel.revoker
+        if revoker is None:
+            raise SimulationError("mrs controller started with no revoker installed")
+        while True:
+            while not self._trigger_pending:
+                yield Block(self.revoke_requested)
+            # Seal the pending buffer: every paint in it has completed, and
+            # the epoch it observes decides its release point (§2.2.3).
+            self.quarantine.seal(self.kernel.epoch.read())
+            self._trigger_pending = False
+            yield from revoker.revoke(core, slot)
+            yield from self._release_ready(core, slot)
+
+    def _release_ready(self, core: Core, slot: CoreSlot) -> Generator:
+        counter = self.kernel.epoch.read()
+        ready = self.quarantine.releasable(counter)
+        for batch in ready:
+            for region in batch.regions:
+                yield self._unpaint(core, region.addr, region.size)
+                yield self.alloc.release(region)
+        if ready:
+            self.kernel.machine.scheduler.signal(self.released, at_time=slot.time)
+
+    # --- Reporting ---------------------------------------------------------------------------------
+
+    @property
+    def quarantine_bytes(self) -> int:
+        return self.quarantine.total_bytes

@@ -1,0 +1,105 @@
+"""Quarantine buffers and revocation-trigger policy (§2.2.2, §5, §7.2).
+
+Freed address space lingers in quarantine between ``free()`` and reuse.
+mrs double-buffers its quarantine (§7.2): one *sealed* batch rides through
+a revocation epoch while new frees accumulate in the *pending* buffer.
+A sealed batch records the epoch counter it observed after its last paint;
+it may be released (unpainted and returned to the allocator's free lists)
+once the counter reaches :func:`repro.kernel.epoch.release_epoch_for` of
+that observation — the paper's two-or-three increment rule (§2.2.3).
+
+The trigger policy is the paper's (§5): revoke when quarantine exceeds a
+quarter of the *total* heap (allocated + quarantined; equivalently a third
+of allocated), but never for less than 8 MiB of quarantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.snmalloc import FreedRegion
+from repro.kernel.epoch import release_epoch_for
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """When to trigger revocation, and when to push back on the mutator."""
+
+    #: Trigger revocation when quarantine exceeds this fraction of the
+    #: total heap (allocated + quarantined). The paper's 1/4.
+    heap_fraction: float = 0.25
+    #: ...but never below this many quarantined bytes (mrs default 8 MiB).
+    min_bytes: int = 8 << 20
+    #: Block mutator malloc/free when quarantine exceeds this multiple of
+    #: the trigger limit while a revocation is already in flight (§5.3).
+    block_multiplier: float = 2.0
+
+    def limit_bytes(self, allocated_bytes: int, quarantined_bytes: int) -> int:
+        """Quarantine size beyond which revocation should run."""
+        total = allocated_bytes + quarantined_bytes
+        return max(self.min_bytes, int(total * self.heap_fraction))
+
+    def should_trigger(self, allocated_bytes: int, quarantined_bytes: int) -> bool:
+        return quarantined_bytes > self.limit_bytes(allocated_bytes, quarantined_bytes)
+
+    def should_block(self, allocated_bytes: int, quarantined_bytes: int) -> bool:
+        limit = self.limit_bytes(allocated_bytes, quarantined_bytes)
+        return quarantined_bytes > limit * self.block_multiplier
+
+
+@dataclass
+class SealedBatch:
+    """A quarantine buffer riding through revocation."""
+
+    regions: list[FreedRegion]
+    bytes: int
+    #: Epoch counter observed at seal time (after every paint in the batch).
+    observed_epoch: int
+
+    @property
+    def release_at(self) -> int:
+        return release_epoch_for(self.observed_epoch)
+
+
+class Quarantine:
+    """Double-buffered quarantine: a pending buffer plus sealed batches."""
+
+    def __init__(self) -> None:
+        self.pending: list[FreedRegion] = []
+        self.pending_bytes = 0
+        self.sealed: list[SealedBatch] = []
+        #: Lifetime total of bytes that entered quarantine (table 2's
+        #: "Sum Freed" column).
+        self.lifetime_bytes = 0
+        self.peak_bytes = 0
+        #: Sum of quarantine size sampled at each revocation (for mean
+        #: quarantine reporting, §5.2).
+        self.sampled_bytes: list[int] = []
+
+    @property
+    def sealed_bytes(self) -> int:
+        return sum(b.bytes for b in self.sealed)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.pending_bytes + self.sealed_bytes
+
+    def add(self, region: FreedRegion) -> None:
+        self.pending.append(region)
+        self.pending_bytes += region.size
+        self.lifetime_bytes += region.size
+        self.peak_bytes = max(self.peak_bytes, self.total_bytes)
+
+    def seal(self, observed_epoch: int) -> SealedBatch:
+        """Seal the pending buffer into a batch awaiting revocation."""
+        batch = SealedBatch(self.pending, self.pending_bytes, observed_epoch)
+        self.pending = []
+        self.pending_bytes = 0
+        self.sealed.append(batch)
+        return batch
+
+    def releasable(self, epoch_counter: int) -> list[SealedBatch]:
+        """Pop and return every sealed batch whose release epoch has come."""
+        ready = [b for b in self.sealed if epoch_counter >= b.release_at]
+        self.sealed = [b for b in self.sealed if epoch_counter < b.release_at]
+        return ready

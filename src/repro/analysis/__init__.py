@@ -1,0 +1,36 @@
+"""Analysis helpers: statistics, figure-data builders, the paper's
+reported numbers, and text rendering for the harness."""
+
+from repro.analysis import figures, paper
+from repro.analysis.stats import (
+    BoxStats,
+    CdfPoint,
+    cdf,
+    geomean,
+    geomean_overhead,
+    mean,
+    median,
+    percentile,
+    percentiles,
+    stddev,
+)
+from repro.analysis.tables import bar_chart, format_percent, format_series, format_table
+
+__all__ = [
+    "BoxStats",
+    "figures",
+    "paper",
+    "CdfPoint",
+    "bar_chart",
+    "cdf",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "geomean",
+    "geomean_overhead",
+    "mean",
+    "median",
+    "percentile",
+    "percentiles",
+    "stddev",
+]

@@ -1,0 +1,213 @@
+"""Figure-data builders: the structured series behind the paper's plots.
+
+The benchmark harness prints text tables; these builders produce the
+underlying *data* (per-benchmark overhead series, latency percentile
+grids, phase-time distributions) as plain dataclasses, so downstream
+tooling — a notebook, a plotting script, a regression tracker — can
+consume results without re-parsing text.
+
+Each builder takes :class:`~repro.core.metrics.RunResult` objects and is
+pure data-shaping: no simulation, no I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.stats import BoxStats, median, percentile
+from repro.core.config import RevokerKind
+from repro.core.metrics import RunResult
+from repro.machine.costs import cycles_to_micros, cycles_to_millis
+
+#: A metric extractor over a run.
+Metric = Callable[[RunResult], float]
+
+METRIC_WALL: Metric = lambda r: float(r.wall_cycles)
+METRIC_CPU: Metric = lambda r: float(r.total_cpu_cycles)
+METRIC_BUS: Metric = lambda r: float(r.total_bus_transactions)
+METRIC_RSS: Metric = lambda r: float(r.peak_rss_bytes)
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """One bar of an overhead figure."""
+
+    benchmark: str
+    strategy: RevokerKind
+    baseline: float
+    test: float
+
+    @property
+    def overhead(self) -> float:
+        """Fractional overhead vs baseline (0.10 = +10%)."""
+        if self.baseline <= 0:
+            return 0.0
+        return self.test / self.baseline - 1.0
+
+    @property
+    def ratio(self) -> float:
+        return self.test / self.baseline if self.baseline > 0 else 0.0
+
+
+@dataclass
+class OverheadSeries:
+    """A fig. 1/2/4-style overhead grid: benchmarks x strategies."""
+
+    metric_name: str
+    points: list[OverheadPoint] = field(default_factory=list)
+
+    def overhead(self, benchmark: str, strategy: RevokerKind) -> float:
+        for p in self.points:
+            if p.benchmark == benchmark and p.strategy == strategy:
+                return p.overhead
+        raise KeyError((benchmark, strategy))
+
+    def strategy_overheads(self, strategy: RevokerKind) -> list[float]:
+        return [p.overhead for p in self.points if p.strategy == strategy]
+
+    def benchmarks(self) -> list[str]:
+        seen: list[str] = []
+        for p in self.points:
+            if p.benchmark not in seen:
+                seen.append(p.benchmark)
+        return seen
+
+
+def build_overhead_series(
+    results: Mapping[str, Mapping[RevokerKind, RunResult]],
+    metric: Metric,
+    metric_name: str,
+    strategies: Sequence[RevokerKind],
+    baseline: RevokerKind = RevokerKind.NONE,
+) -> OverheadSeries:
+    """``results``: benchmark -> strategy -> RunResult (baseline included)."""
+    series = OverheadSeries(metric_name)
+    for bench, by_kind in results.items():
+        base = metric(by_kind[baseline])
+        for kind in strategies:
+            series.points.append(
+                OverheadPoint(bench, kind, base, metric(by_kind[kind]))
+            )
+    return series
+
+
+@dataclass(frozen=True)
+class PercentileGrid:
+    """A fig. 7/8-style latency grid: strategy -> percentile -> value."""
+
+    unit: str
+    percentiles: tuple[float, ...]
+    values: dict[RevokerKind, tuple[float, ...]]
+
+    def value(self, strategy: RevokerKind, p: float) -> float:
+        return self.values[strategy][self.percentiles.index(p)]
+
+    def normalized_to(self, baseline: RevokerKind) -> "PercentileGrid":
+        base = self.values[baseline]
+        return PercentileGrid(
+            unit="x",
+            percentiles=self.percentiles,
+            values={
+                kind: tuple(v / b if b else 0.0 for v, b in zip(vals, base))
+                for kind, vals in self.values.items()
+            },
+        )
+
+
+def build_latency_grid(
+    results: Mapping[RevokerKind, RunResult],
+    percentiles: Sequence[float] = (50, 90, 95, 99, 99.9),
+) -> PercentileGrid:
+    values = {}
+    for kind, result in results.items():
+        ms = [s.millis for s in result.latencies]
+        values[kind] = tuple(percentile(ms, p) for p in percentiles)
+    return PercentileGrid("ms", tuple(percentiles), values)
+
+
+@dataclass(frozen=True)
+class PhaseBox:
+    """One box of fig. 9: a phase's duration distribution."""
+
+    benchmark: str
+    strategy: RevokerKind
+    phase: str  # "stw" | "concurrent" | "fault-sum"
+    stats: BoxStats
+    unit: str = "us"
+
+
+def build_phase_boxes(
+    benchmark: str,
+    results: Mapping[RevokerKind, RunResult],
+) -> list[PhaseBox]:
+    """Extract fig. 9's per-phase duration distributions for one workload."""
+    boxes: list[PhaseBox] = []
+    for kind, result in results.items():
+        stw = [
+            cycles_to_micros(p.duration)
+            for e in result.epoch_records
+            for p in e.phases
+            if p.kind == "stw"
+        ]
+        conc = [
+            cycles_to_micros(p.duration)
+            for e in result.epoch_records
+            for p in e.phases
+            if p.kind == "concurrent"
+        ]
+        if stw:
+            boxes.append(PhaseBox(benchmark, kind, "stw", BoxStats.of(stw)))
+        if conc:
+            boxes.append(PhaseBox(benchmark, kind, "concurrent", BoxStats.of(conc)))
+        if kind is RevokerKind.RELOADED and result.epoch_records:
+            faults = [cycles_to_micros(e.fault_cycles) for e in result.epoch_records]
+            boxes.append(PhaseBox(benchmark, kind, "fault-sum", BoxStats.of(faults)))
+    return boxes
+
+
+@dataclass(frozen=True)
+class Table2Stats:
+    """One row of table 2, computed from a run."""
+
+    benchmark: str
+    mean_alloc_mib: float
+    sum_freed_mib: float
+    freed_to_alloc: float
+    revocations: int
+    rev_per_sec: float
+    rev_per_freed_mib: float
+
+
+def build_table2_row(name: str, result: RunResult) -> Table2Stats:
+    freed_mib = result.sum_freed_bytes / (1 << 20)
+    return Table2Stats(
+        benchmark=name,
+        mean_alloc_mib=result.mean_alloc_bytes / (1 << 20),
+        sum_freed_mib=freed_mib,
+        freed_to_alloc=result.freed_to_alloc_ratio,
+        revocations=result.revocations,
+        rev_per_sec=result.revocations_per_second,
+        rev_per_freed_mib=result.revocations / freed_mib if freed_mib else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class PauseSummary:
+    """Stop-the-world pause statistics for one run (the headline)."""
+
+    strategy: RevokerKind
+    count: int
+    median_ms: float
+    max_ms: float
+
+    @classmethod
+    def of(cls, result: RunResult) -> "PauseSummary":
+        if not result.stw_pauses:
+            return cls(result.revoker, 0, 0.0, 0.0)
+        return cls(
+            strategy=result.revoker,
+            count=len(result.stw_pauses),
+            median_ms=cycles_to_millis(median(result.stw_pauses)),
+            max_ms=cycles_to_millis(max(result.stw_pauses)),
+        )

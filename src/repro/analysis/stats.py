@@ -1,0 +1,116 @@
+"""Statistics helpers used by the evaluation harness.
+
+Percentiles, CDFs, and geometric means — the arithmetic behind figures
+1-9 and tables 1-2. Kept dependency-light (plain Python + math) so the
+benchmark harness prints exactly what it computes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) by linear interpolation.
+
+    Matches numpy's default ("linear") method so results are comparable
+    with common tooling.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile {p} out of [0, 100]")
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi or data[lo] == data[hi]:
+        # Equal endpoints: skip interpolation, which would otherwise
+        # introduce float rounding (v*0.9 + v*0.1 can exceed v).
+        return float(data[lo])
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def percentiles(values: Sequence[float], ps: Iterable[float]) -> dict[float, float]:
+    return {p: percentile(values, p) for p in ps}
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper aggregates multi-input benchmarks and
+    suite-wide overheads geometrically)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_overhead(ratios: Sequence[float]) -> float:
+    """Geomean of (1 + overhead) ratios, returned as an overhead."""
+    return geomean([1.0 + r for r in ratios]) - 1.0
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass(frozen=True)
+class CdfPoint:
+    value: float
+    fraction: float
+
+
+def cdf(values: Sequence[float], points: int = 200) -> list[CdfPoint]:
+    """An empirical CDF downsampled to ``points`` steps (fig. 7's curve)."""
+    if not values:
+        return []
+    data = sorted(values)
+    n = len(data)
+    if n <= points:
+        return [CdfPoint(float(v), (i + 1) / n) for i, v in enumerate(data)]
+    out = []
+    for k in range(points):
+        i = min(n - 1, round((k + 1) * n / points) - 1)
+        out.append(CdfPoint(float(data[i]), (i + 1) / n))
+    return out
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus mean (fig. 8/9's boxplots)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "BoxStats":
+        return cls(
+            minimum=min(values),
+            q1=percentile(values, 25),
+            median=percentile(values, 50),
+            q3=percentile(values, 75),
+            maximum=max(values),
+            mean=mean(values),
+        )

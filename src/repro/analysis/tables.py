@@ -1,0 +1,69 @@
+"""Plain-text table and figure rendering for the benchmark harness.
+
+The paper's tables and figures are regenerated as aligned text: rows and
+series first, pictures never. Every benchmark prints through these
+helpers so EXPERIMENTS.md can quote the harness output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table; floats get 3 significant decimals."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(fraction: float) -> str:
+    """0.294 -> '+29.4%'."""
+    return f"{fraction * 100:+.1f}%"
+
+
+def format_series(
+    name: str,
+    pairs: Sequence[tuple[str, float]],
+    unit: str = "",
+) -> str:
+    """One labelled series (a figure's bar group) as a text line."""
+    body = "  ".join(f"{label}={value:.3f}{unit}" for label, value in pairs)
+    return f"{name}: {body}"
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (quick visual for examples)."""
+    if not rows:
+        return "(empty)"
+    peak = max(abs(v) for _, v in rows) or 1.0
+    label_w = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * max(1, int(round(abs(value) / peak * width))) if value else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.3f}{unit}")
+    return "\n".join(lines)

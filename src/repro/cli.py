@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``      one workload under one strategy, print the run summary;
+- ``compare``  one workload under every strategy, print the overhead table;
+- ``attack``   the adversarial UAF scenario per strategy (the security demo);
+- ``pgbench``  the interactive-latency percentiles per strategy;
+- ``trace``    synthesize, inspect, or replay allocation traces;
+- ``list``     the available workloads and strategies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import format_table, percentile
+from repro.core.config import RevokerKind
+from repro.core.experiment import (
+    ALL_KINDS,
+    bus_overhead,
+    cpu_overhead,
+    rss_ratio,
+    run_experiment,
+    wall_overhead,
+)
+from repro.errors import ReproError
+from repro.machine.costs import cycles_to_micros
+from repro.workloads import spec
+from repro.workloads.adversarial import UafAttacker
+from repro.workloads.base import Workload
+from repro.workloads.grpc_qps import GrpcQpsWorkload
+from repro.workloads.pgbench import PgBenchWorkload
+
+
+def _kind(name: str) -> RevokerKind:
+    try:
+        return RevokerKind(name)
+    except ValueError:
+        valid = ", ".join(k.value for k in RevokerKind)
+        raise SystemExit(f"unknown strategy {name!r}; choose from: {valid}")
+
+
+def _workload(name: str, scale: int, transactions: int, seconds: float) -> Workload:
+    if name == "pgbench":
+        return PgBenchWorkload(transactions=transactions)
+    if name == "grpc":
+        return GrpcQpsWorkload(duration_seconds=seconds)
+    if "." in name:
+        bench, inp = name.split(".", 1)
+        return spec.workload(bench, inp, scale=scale)
+    return spec.workload(name, scale=scale)
+
+
+def _workload_names() -> list[str]:
+    names = ["pgbench", "grpc"]
+    for bench in spec.BENCHMARKS:
+        for inp in spec.inputs_of(bench):
+            names.append(f"{bench}.{inp}")
+    return names
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in _workload_names():
+        print(f"  {name}")
+    print("strategies:")
+    for kind in RevokerKind:
+        safety = "temporal safety" if kind.provides_safety else "no safety"
+        print(f"  {kind.value:11s} ({safety})")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = _workload(args.workload, args.scale, args.transactions, args.seconds)
+    result = run_experiment(workload, _kind(args.revoker))
+    print(result.summary())
+    if result.stw_pauses:
+        print(f"pauses: n={len(result.stw_pauses)} "
+              f"max={cycles_to_micros(max(result.stw_pauses)):.1f}us")
+    if result.foreground_faults:
+        print(f"load-barrier faults: {result.foreground_faults} "
+              f"(+{result.spurious_faults} spurious)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = {}
+    for kind in ALL_KINDS:
+        workload = _workload(args.workload, args.scale, args.transactions, args.seconds)
+        results[kind] = run_experiment(workload, kind)
+    base = results[RevokerKind.NONE]
+    rows = []
+    for kind in ALL_KINDS:
+        r = results[kind]
+        pause = cycles_to_micros(max(r.stw_pauses)) if r.stw_pauses else 0.0
+        rows.append([
+            kind.value,
+            f"{wall_overhead(r, base) * 100:+.1f}%",
+            f"{cpu_overhead(r, base) * 100:+.1f}%",
+            f"{bus_overhead(r, base) * 100:+.0f}%",
+            f"{rss_ratio(r, base):.2f}",
+            r.revocations,
+            f"{pause:.1f}us",
+        ])
+    print(format_table(
+        ["strategy", "wall", "cpu", "bus", "rss", "revocations", "max pause"],
+        rows,
+        title=f"{args.workload}: overhead vs no-revocation baseline",
+    ))
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    rows = []
+    compromised = False
+    for kind in ALL_KINDS:
+        attacker = UafAttacker(rounds=args.rounds)
+        run_experiment(attacker, kind)
+        r = attacker.report
+        verdict = "VULNERABLE" if r.uar_hits else "safe"
+        compromised |= bool(r.uar_hits) and kind.provides_safety
+        rows.append([kind.value, r.uar_hits, r.uaf_reads, r.revoked_probes, verdict])
+    print(format_table(
+        ["strategy", "UAR hits", "UAF reads", "revoked probes", "verdict"],
+        rows,
+        title="use-after-free attack outcomes",
+    ))
+    return 1 if compromised else 0
+
+
+def cmd_pgbench(args: argparse.Namespace) -> int:
+    rows = []
+    for kind in ALL_KINDS:
+        result = run_experiment(
+            PgBenchWorkload(transactions=args.transactions, rate_tps=args.rate),
+            kind,
+        )
+        ms = [s.millis for s in result.latencies]
+        rows.append([
+            kind.value,
+            f"{percentile(ms, 50):.2f}",
+            f"{percentile(ms, 90):.2f}",
+            f"{percentile(ms, 99):.2f}",
+            result.revocations,
+        ])
+    print(format_table(
+        ["strategy", "p50 ms", "p90 ms", "p99 ms", "revocations"],
+        rows,
+        title=f"pgbench latency percentiles ({args.transactions} transactions)",
+    ))
+    return 0
+
+
+def cmd_verify_paper(args: argparse.Namespace) -> int:
+    """Quick spot-checks of encoded paper claims on small runs.
+
+    Not the full harness (pytest benchmarks/ regenerates every figure);
+    this is the five-minute confidence check.
+    """
+    from repro.analysis import paper
+    from repro.analysis.paper import check_ordering, compare
+    from repro.core.experiment import compare_strategies
+    from repro.machine.costs import cycles_to_micros
+    from repro.workloads import spec as spec_mod
+
+    outcomes = []
+
+    # 1. Pause-time ordering on a revoking SPEC surrogate.
+    results = compare_strategies(
+        lambda: spec_mod.workload("hmmer", "retro", scale=args.scale),
+        (RevokerKind.CHERIVOKE, RevokerKind.CORNUCOPIA, RevokerKind.RELOADED),
+    )
+    pauses = {k.value: float(max(r.stw_pauses)) for k, r in results.items()}
+    ok = check_ordering(pauses, ["cherivoke", "cornucopia", "reloaded"])
+    outcomes.append(("pause ordering cherivoke>cornucopia>reloaded", ok))
+
+    # 2. Reloaded single-threaded STW in the tens of microseconds.
+    rel = results[RevokerKind.RELOADED]
+    med = sorted(rel.stw_pauses)[len(rel.stw_pauses) // 2]
+    c = compare(paper.FIG9_RELOADED_STW_US, cycles_to_micros(med))
+    outcomes.append((
+        f"{c.expectation.key}: {c.measured:.1f}us vs paper ~{c.expectation.value:.0f}us",
+        c.ok,
+    ))
+
+    # 3. Reloaded bus traffic at most Cornucopia's.
+    ok = (
+        results[RevokerKind.RELOADED].total_bus_transactions
+        <= results[RevokerKind.CORNUCOPIA].total_bus_transactions
+    )
+    outcomes.append(("reloaded bus <= cornucopia bus", ok))
+
+    # 4. The security property, adversarially.
+    attacker = UafAttacker(rounds=8, churn_objects=60)
+    run_experiment(attacker, RevokerKind.RELOADED)
+    outcomes.append(("no use-after-reallocation under reloaded",
+                     attacker.report.uar_hits == 0))
+
+    failures = 0
+    for label, ok in outcomes:
+        print(f"[{'OK ' if ok else 'OFF'}] {label}")
+        failures += 0 if ok else 1
+    print(
+        f"\n{len(outcomes) - failures}/{len(outcomes)} paper claims verified "
+        "(full regeneration: pytest benchmarks/ --benchmark-only)"
+    )
+    return 1 if failures else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.trace import AllocationTrace, TraceWorkload, synthesize_trace
+
+    if args.trace_cmd == "synth":
+        trace = synthesize_trace(
+            objects=args.objects, churn=args.churn, seed=args.seed
+        )
+        trace.save(args.path)
+        print(f"wrote {len(trace)} events to {args.path}: {trace.stats()}")
+        return 0
+    if args.trace_cmd == "stats":
+        trace = AllocationTrace.load(args.path)
+        trace.validate()
+        print(f"{args.path}: {len(trace)} events, well-formed: {trace.stats()}")
+        return 0
+    if args.trace_cmd == "replay":
+        trace = AllocationTrace.load(args.path)
+        workload = TraceWorkload(trace)
+        result = run_experiment(workload, _kind(args.revoker))
+        print(result.summary())
+        print(f"replayed {workload.replayed_events} events, "
+              f"{workload.stale_loads} capability loads hit empty or revoked slots")
+        return 0
+    raise SystemExit(f"unknown trace command {args.trace_cmd!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cornucopia Reloaded reproduction: CHERI temporal-safety "
+        "revocation on a simulated machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--scale", type=int, default=256,
+                       help="byte-quantity divisor for SPEC surrogates")
+        p.add_argument("--transactions", type=int, default=500,
+                       help="pgbench transaction count")
+        p.add_argument("--seconds", type=float, default=0.5,
+                       help="gRPC run duration")
+
+    p = sub.add_parser("list", help="available workloads and strategies")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="run one workload under one strategy")
+    p.add_argument("workload")
+    p.add_argument("revoker", nargs="?", default="reloaded")
+    common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="run one workload under every strategy")
+    p.add_argument("workload")
+    common(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("attack", help="adversarial UAF scenario per strategy")
+    p.add_argument("--rounds", type=int, default=15)
+    p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser("pgbench", help="interactive latency percentiles")
+    p.add_argument("--transactions", type=int, default=400)
+    p.add_argument("--rate", type=float, default=None)
+    p.set_defaults(fn=cmd_pgbench)
+
+    p = sub.add_parser("verify-paper", help="quick paper-claim spot checks")
+    p.add_argument("--scale", type=int, default=512)
+    p.set_defaults(fn=cmd_verify_paper)
+
+    p = sub.add_parser("trace", help="allocation trace tools")
+    tsub = p.add_subparsers(dest="trace_cmd", required=True)
+    ps = tsub.add_parser("synth", help="synthesize a random trace")
+    ps.add_argument("path")
+    ps.add_argument("--objects", type=int, default=200)
+    ps.add_argument("--churn", type=int, default=1000)
+    ps.add_argument("--seed", type=int, default=1)
+    pt = tsub.add_parser("stats", help="validate and summarize a trace")
+    pt.add_argument("path")
+    pr = tsub.add_parser("replay", help="replay a trace under a strategy")
+    pr.add_argument("path")
+    pr.add_argument("revoker", nargs="?", default="reloaded")
+    for x in (ps, pt, pr):
+        pass
+    p.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

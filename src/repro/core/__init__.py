@@ -1,0 +1,44 @@
+"""The public API: configuration, simulation, metrics, experiments."""
+
+from repro.core.config import MachineConfig, RevokerKind, SimulationConfig
+from repro.core.experiment import (
+    ALL_KINDS,
+    SAFETY_KINDS,
+    bus_overhead,
+    compare_strategies,
+    cpu_overhead,
+    overhead,
+    rss_ratio,
+    run_experiment,
+    wall_overhead,
+)
+from repro.core.metrics import LatencySample, RunResult
+from repro.core.simulation import AppContext, Simulation
+from repro.core.validate import ValidationReport, Violation, check_invariants
+
+# Re-exported for convenience: the quarantine policy is part of the
+# configuration surface.
+from repro.alloc.quarantine import QuarantinePolicy
+
+__all__ = [
+    "ALL_KINDS",
+    "AppContext",
+    "LatencySample",
+    "MachineConfig",
+    "QuarantinePolicy",
+    "RevokerKind",
+    "RunResult",
+    "SAFETY_KINDS",
+    "Simulation",
+    "SimulationConfig",
+    "ValidationReport",
+    "Violation",
+    "bus_overhead",
+    "compare_strategies",
+    "cpu_overhead",
+    "overhead",
+    "rss_ratio",
+    "check_invariants",
+    "run_experiment",
+    "wall_overhead",
+]

@@ -1,0 +1,86 @@
+"""Configuration for simulations: machine shape, strategy, policy.
+
+The defaults mirror the paper's methodology (§5): a four-core machine
+with the application pinned to core 3, the revocation controller thread
+pinned to core 2, and the mrs quarantine policy of one quarter of the
+total heap with an 8 MiB floor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.errors import ConfigError
+from repro.machine.costs import CostModel, default_cost_model
+from repro.machine.scheduler import DEFAULT_QUANTUM
+
+
+class RevokerKind(enum.Enum):
+    """The five evaluated conditions (§5)."""
+
+    #: No temporal safety, no quarantine: plain snmalloc (the baseline).
+    NONE = "none"
+    #: Quarantine machinery without revocation passes; no safety (§5).
+    PAINT_SYNC = "paint+sync"
+    #: Fully stop-the-world sweeps (§2.2.1).
+    CHERIVOKE = "cherivoke"
+    #: Concurrent sweep + re-dirty stop-the-world (§2.2.5).
+    CORNUCOPIA = "cornucopia"
+    #: Load-barrier revocation — the paper's contribution (§3-4).
+    RELOADED = "reloaded"
+
+    @property
+    def provides_safety(self) -> bool:
+        return self in (
+            RevokerKind.CHERIVOKE,
+            RevokerKind.CORNUCOPIA,
+            RevokerKind.RELOADED,
+        )
+
+
+@dataclass
+class MachineConfig:
+    """Shape of the simulated Morello-like machine (§2.1.1)."""
+
+    memory_bytes: int = 256 << 20
+    num_cores: int = 4
+    cache_bytes: int = 1 << 20
+    quantum: int = DEFAULT_QUANTUM
+    costs: CostModel = field(default_factory=default_cost_model)
+
+    def validate(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigError("num_cores must be >= 1")
+        if self.memory_bytes < (1 << 20):
+            raise ConfigError("memory_bytes unreasonably small")
+
+
+@dataclass
+class SimulationConfig:
+    """One simulation run's full configuration."""
+
+    revoker: RevokerKind = RevokerKind.RELOADED
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    #: None means: use the workload's recommended policy if it has one
+    #: (scaled workloads scale the 8 MiB quarantine floor with their
+    #: heaps), else the paper defaults.
+    policy: QuarantinePolicy | None = None
+    #: Core index for the first application thread; additional threads
+    #: take successively lower indices (the paper pins the app to core 3).
+    app_core: int = 3
+    #: Core for the revocation controller thread (paper: core 2). Set to
+    #: an app core to model the unpinned gRPC contention regime (§5.3).
+    revoker_core: int = 2
+    #: Override the revoker implementation class (extensions such as
+    #: MultithreadReloadedRevoker or CheriotRevoker); ``revoker`` must not
+    #: be NONE. None selects the strategy from ``revoker``.
+    custom_revoker: type | None = None
+
+    def validate(self) -> None:
+        self.machine.validate()
+        if not 0 <= self.app_core < self.machine.num_cores:
+            raise ConfigError(f"app_core {self.app_core} out of range")
+        if not 0 <= self.revoker_core < self.machine.num_cores:
+            raise ConfigError(f"revoker_core {self.revoker_core} out of range")

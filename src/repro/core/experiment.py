@@ -1,0 +1,136 @@
+"""Experiment drivers: run workloads across strategies and compute the
+overheads the paper's figures report.
+
+Every comparison constructs the workload fresh per condition from a
+factory with the same seed, so all conditions execute the identical
+operation trace (the paper runs the same binary under every condition,
+§5); the no-revocation baseline anchors the overhead ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.metrics import RunResult
+from repro.core.simulation import Simulation
+from repro.workloads.base import Workload
+
+#: A fresh-workload factory (workloads are stateful; one per run).
+WorkloadFactory = Callable[[], Workload]
+
+#: The conditions evaluated by the paper, in its figures' order.
+ALL_KINDS: tuple[RevokerKind, ...] = (
+    RevokerKind.NONE,
+    RevokerKind.PAINT_SYNC,
+    RevokerKind.CHERIVOKE,
+    RevokerKind.CORNUCOPIA,
+    RevokerKind.RELOADED,
+)
+
+#: Just the safety-providing strategies.
+SAFETY_KINDS: tuple[RevokerKind, ...] = (
+    RevokerKind.CHERIVOKE,
+    RevokerKind.CORNUCOPIA,
+    RevokerKind.RELOADED,
+)
+
+
+def run_experiment(
+    workload: Workload | WorkloadFactory,
+    kind: RevokerKind,
+    config: SimulationConfig | None = None,
+) -> RunResult:
+    """Run one workload under one strategy and return its metrics."""
+    if callable(workload) and not isinstance(workload, Workload):
+        workload = workload()
+    cfg = config if config is not None else SimulationConfig()
+    cfg.revoker = kind
+    return Simulation(workload, cfg).run()
+
+
+def compare_strategies(
+    factory: WorkloadFactory,
+    kinds: Iterable[RevokerKind] = ALL_KINDS,
+    config_factory: Callable[[], SimulationConfig] | None = None,
+) -> dict[RevokerKind, RunResult]:
+    """Run the same workload trace under each strategy."""
+    results: dict[RevokerKind, RunResult] = {}
+    for kind in kinds:
+        cfg = config_factory() if config_factory is not None else SimulationConfig()
+        results[kind] = run_experiment(factory, kind, cfg)
+    return results
+
+
+def overhead(test: float, baseline: float) -> float:
+    """Fractional overhead of ``test`` relative to ``baseline``
+    (0.10 means +10%)."""
+    if baseline <= 0:
+        return 0.0
+    return test / baseline - 1.0
+
+
+def wall_overhead(test: RunResult, baseline: RunResult) -> float:
+    return overhead(test.wall_cycles, baseline.wall_cycles)
+
+
+def cpu_overhead(test: RunResult, baseline: RunResult) -> float:
+    return overhead(test.total_cpu_cycles, baseline.total_cpu_cycles)
+
+
+def bus_overhead(test: RunResult, baseline: RunResult) -> float:
+    return overhead(test.total_bus_transactions, baseline.total_bus_transactions)
+
+
+def rss_ratio(test: RunResult, baseline: RunResult) -> float:
+    if baseline.peak_rss_bytes <= 0:
+        return 0.0
+    return test.peak_rss_bytes / baseline.peak_rss_bytes
+
+
+@dataclass
+class BatchResult:
+    """Multiple runs of one condition, aggregated the paper's way (§5.1:
+    several executions per benchmark, sampling across randomization)."""
+
+    kind: RevokerKind
+    runs: list[RunResult]
+
+    def _values(self, metric: Callable[[RunResult], float]) -> list[float]:
+        return [metric(r) for r in self.runs]
+
+    def mean(self, metric: Callable[[RunResult], float]) -> float:
+        values = self._values(metric)
+        return sum(values) / len(values)
+
+    def stddev(self, metric: Callable[[RunResult], float]) -> float:
+        values = self._values(metric)
+        if len(values) < 2:
+            return 0.0
+        mu = sum(values) / len(values)
+        return (sum((v - mu) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+    def mean_pm_std(self, metric: Callable[[RunResult], float]) -> tuple[float, float]:
+        return self.mean(metric), self.stddev(metric)
+
+
+def run_batches(
+    seeded_factory: Callable[[int], Workload],
+    kind: RevokerKind,
+    seeds: Iterable[int] = (1, 2, 3, 4),
+    config_factory: Callable[[], SimulationConfig] | None = None,
+) -> BatchResult:
+    """Run one condition across several seeds and aggregate.
+
+    ``seeded_factory(seed)`` must build a fresh workload whose trace is a
+    function of the seed — the sampling axis standing in for the paper's
+    per-boot randomization (§5.1's four batches of four executions).
+    """
+    runs = []
+    for seed in seeds:
+        cfg = config_factory() if config_factory is not None else SimulationConfig()
+        runs.append(run_experiment(seeded_factory(seed), kind, cfg))
+    if not runs:
+        raise ValueError("run_batches needs at least one seed")
+    return BatchResult(kind, runs)

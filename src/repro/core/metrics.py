@@ -1,0 +1,114 @@
+"""Run metrics: everything the paper's evaluation reports.
+
+The paper names four key overheads of CHERIvoke-style revocation (§5):
+wall-clock time, CPU time, bus accesses, and memory occupancy. A
+:class:`RunResult` carries all four plus the latency and phase-timing
+detail behind figures 7-9 and tables 1-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import RevokerKind
+from repro.kernel.revoker.base import EpochRecord
+from repro.machine.costs import cycles_to_millis, cycles_to_seconds
+
+
+@dataclass
+class LatencySample:
+    """One completed unit of work (a pgbench transaction, a gRPC RPC)."""
+
+    label: str
+    begin: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.begin
+
+    @property
+    def millis(self) -> float:
+        return cycles_to_millis(self.cycles)
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    workload: str
+    revoker: RevokerKind
+    #: Elapsed simulated cycles (the paper's wall-clock time).
+    wall_cycles: int = 0
+    #: Busy cycles per core name (pmcstat-style per-core CPU time).
+    cpu_cycles_by_core: dict[str, int] = field(default_factory=dict)
+    #: Busy cycles of the application thread(s) alone.
+    app_cpu_cycles: int = 0
+    #: Memory bus transactions per source (core name).
+    bus_by_source: dict[str, int] = field(default_factory=dict)
+    #: Peak resident set, bytes (fig. 3's metric).
+    peak_rss_bytes: int = 0
+    #: Stop-the-world pause durations, cycles, in order (fig. 9).
+    stw_pauses: list[int] = field(default_factory=list)
+    #: Per-epoch revocation detail (phases, faults, sweep counts).
+    epoch_records: list[EpochRecord] = field(default_factory=list)
+    #: Completed transactions / requests with their latencies (figs. 7-8).
+    latencies: list[LatencySample] = field(default_factory=list)
+
+    # Allocator / quarantine statistics (table 2).
+    revocations: int = 0
+    mean_alloc_bytes: float = 0.0
+    sum_freed_bytes: int = 0
+    mean_quarantine_bytes: float = 0.0
+    blocked_operations: int = 0
+    foreground_faults: int = 0
+    spurious_faults: int = 0
+    caps_revoked: int = 0
+    pages_swept: int = 0
+
+    # --- Derived metrics -----------------------------------------------------
+
+    @property
+    def total_cpu_cycles(self) -> int:
+        """CPU time across every core (the paper's fig. 2 metric)."""
+        return sum(self.cpu_cycles_by_core.values())
+
+    @property
+    def total_bus_transactions(self) -> int:
+        return sum(self.bus_by_source.values())
+
+    @property
+    def wall_seconds(self) -> float:
+        return cycles_to_seconds(self.wall_cycles)
+
+    @property
+    def freed_to_alloc_ratio(self) -> float:
+        """Table 2's F:A column."""
+        if self.mean_alloc_bytes <= 0:
+            return 0.0
+        return self.sum_freed_bytes / self.mean_alloc_bytes
+
+    @property
+    def revocations_per_second(self) -> float:
+        seconds = self.wall_seconds
+        return self.revocations / seconds if seconds > 0 else 0.0
+
+    @property
+    def total_fault_cycles(self) -> int:
+        return sum(r.fault_cycles for r in self.epoch_records)
+
+    def latency_cycles(self) -> list[int]:
+        return [s.cycles for s in self.latencies]
+
+    def max_stw_pause_ms(self) -> float:
+        return cycles_to_millis(max(self.stw_pauses)) if self.stw_pauses else 0.0
+
+    def summary(self) -> str:
+        """One-line human summary, for examples and quick looks."""
+        return (
+            f"{self.workload}/{self.revoker.value}: "
+            f"wall={self.wall_seconds:.3f}s cpu={cycles_to_seconds(self.total_cpu_cycles):.3f}s "
+            f"bus={self.total_bus_transactions} rss={self.peak_rss_bytes >> 20}MiB "
+            f"revocations={self.revocations} "
+            f"max_pause={self.max_stw_pause_ms():.3f}ms"
+        )

@@ -1,0 +1,164 @@
+"""Runtime invariant checking for simulations.
+
+DESIGN.md §4 lists the invariants the system lives by; this module makes
+them executable against a (running or finished) :class:`Simulation`, so
+tests, examples, and long experiments can assert correctness directly
+instead of re-deriving the checks. The checker is also the fault-
+injection harness's oracle: deliberately broken revokers must make it
+fail (see tests/test_fault_injection.py).
+
+Checks are conservative: they only flag states that are definitely wrong
+given the epoch rules of §2.2.3, never racy intermediate states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulation import Simulation
+
+
+@dataclass
+class Violation:
+    """One detected invariant violation."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.invariant}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(invariant, detail))
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            lines = "\n".join(str(v) for v in self.violations)
+            raise AssertionError(f"invariant violations:\n{lines}")
+
+
+def check_invariants(sim: "Simulation") -> ValidationReport:
+    """Run every applicable invariant check against ``sim``."""
+    report = ValidationReport()
+    _check_epoch_discipline(sim, report)
+    _check_live_heap_unpainted(sim, report)
+    _check_allocation_disjointness(sim, report)
+    if sim.mrs is not None:
+        _check_quarantine_accounting(sim, report)
+        revoker = sim.kernel.revoker
+        if revoker is not None and revoker.provides_safety and not sim.kernel.epoch.revoking:
+            _check_revocation_guarantee(sim, report)
+    return report
+
+
+# --- Individual checks ------------------------------------------------------------
+
+
+def _check_epoch_discipline(sim: "Simulation", report: ValidationReport) -> None:
+    """§2.2.3: the counter is odd exactly while an epoch is in flight and
+    advances twice per completed epoch."""
+    epoch = sim.kernel.epoch
+    if epoch.revoking != (epoch.counter % 2 == 1):
+        report.add("epoch-discipline", f"counter {epoch.counter} vs revoking flag")
+    expected = 2 * epoch.completed + (1 if epoch.revoking else 0)
+    if epoch.counter != expected:
+        report.add(
+            "epoch-discipline",
+            f"counter {epoch.counter} != 2*completed({epoch.completed})"
+            f"{'+1' if epoch.revoking else ''}",
+        )
+
+
+def _check_live_heap_unpainted(sim: "Simulation", report: ValidationReport) -> None:
+    """A live allocation must never be condemned: the allocator paints
+    only on free and unpaints before reuse."""
+    shadow = sim.kernel.shadow
+    for addr in sim.alloc._live:
+        if shadow.is_painted_addr(addr):
+            report.add("live-unpainted", f"live allocation at {addr:#x} is painted")
+
+
+def _check_allocation_disjointness(sim: "Simulation", report: ValidationReport) -> None:
+    """No two live allocations overlap."""
+    spans = sorted(
+        (addr, addr + size) for addr, (size, _) in sim.alloc._live.items()
+    )
+    for (b1, t1), (b2, _) in zip(spans, spans[1:]):
+        if t1 > b2:
+            report.add(
+                "allocation-disjointness",
+                f"[{b1:#x},{t1:#x}) overlaps allocation at {b2:#x}",
+            )
+
+
+def _check_quarantine_accounting(sim: "Simulation", report: ValidationReport) -> None:
+    """Quarantine bookkeeping balances, and quarantined regions are
+    painted until released."""
+    q = sim.mrs.quarantine
+    if q.total_bytes != q.pending_bytes + q.sealed_bytes:
+        report.add("quarantine-accounting", "total != pending + sealed")
+    if q.pending_bytes != sum(r.size for r in q.pending):
+        report.add("quarantine-accounting", "pending_bytes out of sync")
+    shadow = sim.kernel.shadow
+    for region in q.pending:
+        if not shadow.is_painted_addr(region.addr):
+            report.add(
+                "quarantine-painted",
+                f"pending region {region.addr:#x} not painted",
+            )
+    for batch in q.sealed:
+        for region in batch.regions:
+            if not shadow.is_painted_addr(region.addr):
+                report.add(
+                    "quarantine-painted",
+                    f"sealed region {region.addr:#x} not painted",
+                )
+
+
+def _check_revocation_guarantee(sim: "Simulation", report: ValidationReport) -> None:
+    """§2.2.3 (with no epoch in flight): any tagged capability whose base
+    is painted must target memory painted *after* the last epoch began —
+    i.e. a region still in quarantine. Anything else escaped a sweep.
+
+    Covers memory, thread register files, and kernel hoards (§4.4).
+    """
+    shadow = sim.kernel.shadow
+    q = sim.mrs.quarantine
+    allowed = {r.addr for r in q.pending}
+    allowed.update(r.addr for b in q.sealed for r in b.regions)
+
+    def offending(cap) -> bool:
+        return cap.tag and shadow.is_revoked(cap) and cap.base not in allowed
+
+    for granule, cap in sim.machine.memory.iter_tagged():
+        if offending(cap):
+            report.add(
+                "revocation-guarantee",
+                f"memory granule {granule} holds revoked cap to {cap.base:#x}",
+            )
+    revoker = sim.kernel.revoker
+    for rf in revoker.register_files:
+        for index, cap in rf.live_caps():
+            if offending(cap):
+                report.add(
+                    "revocation-guarantee",
+                    f"register {index} holds revoked cap to {cap.base:#x}",
+                )
+    for name, hoard in sim.kernel.hoards._hoards.items():
+        for cap in hoard:
+            if offending(cap):
+                report.add(
+                    "revocation-guarantee",
+                    f"kernel hoard {name!r} holds revoked cap to {cap.base:#x}",
+                )

@@ -1,0 +1,23 @@
+"""Extensions from the paper's related/future work sections: mmap
+quarantine (§6.2), CHERI+coloring (§7.3), the CHERIoT load filter (§6.3),
+and multi-threaded background revocation (§7.1)."""
+
+from repro.extensions.always_trap import AlwaysTrapReloadedRevoker
+from repro.extensions.cheriot import CheriotRevoker, HardwareSweepEngine, LoadFilter
+from repro.extensions.coloring import ColoredCapability, ColoredHeap, ColoringStats
+from repro.extensions.multipass import MultipassCornucopiaRevoker
+from repro.extensions.multithread_revoker import MultithreadReloadedRevoker
+from repro.extensions.reservations import ReservationQuarantine
+
+__all__ = [
+    "AlwaysTrapReloadedRevoker",
+    "CheriotRevoker",
+    "ColoredCapability",
+    "ColoredHeap",
+    "ColoringStats",
+    "HardwareSweepEngine",
+    "LoadFilter",
+    "MultipassCornucopiaRevoker",
+    "MultithreadReloadedRevoker",
+    "ReservationQuarantine",
+]

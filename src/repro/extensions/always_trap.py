@@ -1,0 +1,86 @@
+"""Revised PTE capability load control (§7.6).
+
+Stock Reloaded has an awkward obligation: capability-*clean* pages must
+still have their generation bits kept up to date on every epoch — the
+background pass pays a PTE write (our ``gen_only_visit``) per clean page
+per epoch even though no capability can be loaded from them. §7.6
+proposes a third PTE disposition: **capability loads always trap**. Pages
+in this state need no generation maintenance at all; the (rare) trap on a
+capability-width load from such a page is resolved by replacing the PTE
+with one carrying the current generation.
+
+Model:
+
+- freshly mapped pages are born with ``always_trap_cap_loads`` set (they
+  are clean by construction);
+- the first *tagged capability store* to such a page transitions it to
+  the normal generation-checked disposition at the storing core's current
+  CLG — the stored capability was necessarily already checked (§3.2), so
+  the current generation is correct;
+- the background pass visits only capability-dirty pages; always-trap
+  pages are skipped entirely — no sweep, no PTE write;
+- a capability load from an always-trap page traps regardless of the
+  loaded tag (fn. 18's "trap on any capability-width load" behaviour)
+  and is healed by installing a current-generation PTE. The page's
+  contents are skipped while it remains clean.
+
+The machine hooks (`PTE.always_trap_cap_loads`, the load/store barrier
+checks in :mod:`repro.machine.cpu`) are part of the base machine; this
+module provides the revoker that exploits them.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.revoker.reloaded import ReloadedRevoker
+from repro.machine.cpu import Core
+
+
+class AlwaysTrapReloadedRevoker(ReloadedRevoker):
+    """Reloaded with §7.6's always-trap disposition for clean pages."""
+
+    name = "reloaded-7.6"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # New mappings are born always-trap instead of generation-tracked.
+        self.address_space.new_pages_always_trap = True
+        # Retrofit pages mapped before the revoker was installed.
+        for pte in self.machine.pagetable.mapped_pages():
+            if not pte.cap_dirty and not pte.guard:
+                pte.always_trap_cap_loads = True
+        self.clean_page_traps = 0
+
+    def handle_lg_fault(self, core: Core, vpn: int) -> int:
+        pte = self.machine.pagetable.require(vpn)
+        if pte.always_trap_cap_loads:
+            # §7.6: quickly resolved by replacing the PTE with one that
+            # carries the current load generation. Contents are skipped —
+            # the page is capability-clean by definition of the state.
+            self.clean_page_traps += 1
+            pte.always_trap_cap_loads = False
+            pte.lg = core.clg
+            core.tlb.fill(vpn, pte)
+            return (
+                self.costs.trap_roundtrip
+                + self.costs.pmap_lock
+                + self.costs.pte_update
+            )
+        return super().handle_lg_fault(core, vpn)
+
+    # The background pass inherits ReloadedRevoker.revoke unchanged: its
+    # loop skips pages whose lg already matches... but always-trap pages
+    # carry no meaningful lg, so exclude them explicitly.
+    def revoke(self, core, slot):
+        # Wrap the parent generator, but first mark always-trap pages as
+        # out of scope for this epoch by aligning their (ignored) lg so
+        # the parent's "already current" test skips them without a visit.
+        target = self.current_lg ^ 1
+        skipped = 0
+        for pte in self.machine.pagetable.mapped_pages():
+            if pte.always_trap_cap_loads and not pte.cap_dirty:
+                pte.lg = target
+                skipped += 1
+        self.pages_skipped_always_trap = getattr(
+            self, "pages_skipped_always_trap", 0
+        ) + skipped
+        yield from super().revoke(core, slot)

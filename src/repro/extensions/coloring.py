@@ -1,0 +1,149 @@
+"""Composing CHERI and memory coloring (§7.3).
+
+The paper's most concrete future-work proposal: move MTE-style color bits
+*under CHERI's integrity protection* — the allocator fixes a color in the
+returned capability, recolors the memory on ``free()``, and a mis-colored
+access is dead on arrival. Temporal safety becomes immediate (no UAF/UAR
+gap), and sweeping revocation is only needed when a region has exhausted
+its color space: quarantine pressure falls by roughly the number of
+colors.
+
+:class:`ColoredCapability` carries the color inside the (architecturally
+integrity-protected) pointer — it cannot be separated from the
+capability, which is exactly what distinguishes this composition from
+plain MTE, where pointer colors are forgeable address bits (§6.1 caveat 1
+disappears). Memory colors live per allocation slot.
+
+:class:`ColoredHeap` exposes the allocator surface; its counters let the
+ablation benchmark (bench_ablation_coloring) measure revocation pressure
+as a function of the color count — the paper predicts quarantine growth
+inversely proportional to the number of colors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.snmalloc import FreedRegion, SnMalloc
+from repro.errors import AllocatorError, CapabilityError
+from repro.kernel.kernel import Kernel
+from repro.machine.capability import Capability
+
+
+@dataclass(frozen=True)
+class ColoredCapability:
+    """A capability whose color rides under CHERI integrity (§7.3)."""
+
+    cap: Capability
+    color: int
+
+    @property
+    def base(self) -> int:
+        return self.cap.base
+
+    @property
+    def length(self) -> int:
+        return self.cap.length
+
+    @property
+    def tag(self) -> bool:
+        return self.cap.tag
+
+
+@dataclass
+class ColoringStats:
+    """What the color space bought us."""
+
+    frees_total: int = 0
+    #: Frees absorbed by a recolor (no quarantine, no revocation needed).
+    frees_recolored: int = 0
+    #: Frees that exhausted the color space and entered quarantine.
+    frees_quarantined: int = 0
+    #: Mis-colored accesses refused (would-be UAF/UAR, caught instantly).
+    miscolor_faults: int = 0
+
+    @property
+    def quarantine_reduction(self) -> float:
+        """Fraction of frees that avoided quarantine entirely."""
+        if self.frees_total == 0:
+            return 0.0
+        return self.frees_recolored / self.frees_total
+
+
+class ColoredHeap:
+    """An allocator layer giving every allocation a (capability, color)
+    pair and enforcing color matching on access."""
+
+    def __init__(self, kernel: Kernel, num_colors: int = 16) -> None:
+        if num_colors < 2:
+            raise AllocatorError("coloring needs at least two colors")
+        self.kernel = kernel
+        self.alloc = SnMalloc(kernel)
+        self.num_colors = num_colors
+        #: Current color of each allocation slot (keyed by base address).
+        self._memory_color: dict[int, int] = {}
+        #: Slots whose color space is exhausted, awaiting revocation.
+        self.quarantined: list[FreedRegion] = []
+        self.stats = ColoringStats()
+
+    # --- Allocation ------------------------------------------------------------
+
+    def malloc(self, nbytes: int) -> ColoredCapability:
+        cap, _ = self.alloc.malloc(nbytes)
+        color = self._memory_color.setdefault(cap.base, 0)
+        return ColoredCapability(cap, color)
+
+    def free(self, ccap: ColoredCapability) -> None:
+        """Free with recoloring: the slot is *immediately* reusable unless
+        its color space is exhausted (§7.3: quarantine grows at a rate
+        inversely proportional to the number of colors)."""
+        self.check_access(ccap)  # a stale-colored double free faults here
+        region, _ = self.alloc.free(ccap.cap)
+        self.stats.frees_total += 1
+        old = self._memory_color[region.addr]
+        if old + 1 < self.num_colors:
+            # Recolor and return the slot to service on the spot: every
+            # outstanding capability now carries the wrong color and is
+            # permanently useless.
+            self._memory_color[region.addr] = old + 1
+            self.alloc.release(region)
+            self.stats.frees_recolored += 1
+        else:
+            # Colors exhausted: classic quarantine + revocation path.
+            self.kernel.shadow.paint(region.addr, region.size)
+            self.quarantined.append(region)
+            self.stats.frees_quarantined += 1
+
+    def release_after_revocation(self) -> int:
+        """After a revocation epoch, recycle exhausted slots with a fresh
+        color space; returns the number released."""
+        released = 0
+        for region in self.quarantined:
+            self.kernel.shadow.unpaint(region.addr, region.size)
+            self._memory_color[region.addr] = 0
+            self.alloc.release(region)
+            released += 1
+        self.quarantined.clear()
+        return released
+
+    # --- Enforcement ----------------------------------------------------------------
+
+    def check_access(self, ccap: ColoredCapability) -> None:
+        """The architectural color check on dereference: capability color
+        must match the memory color. Mis-colored stores are discarded and
+        mis-colored capabilities may be revoked on sight (§7.3) — modelled
+        as a fail-stop fault plus the fault counter.
+
+        The check is "completely architectural" (no bitmap, no kernel):
+        just two color fields — which is what makes it suitable for DMA
+        engines and hardware sweepers.
+        """
+        if not ccap.tag:
+            raise CapabilityError("untagged capability")
+        mem_color = self._memory_color.get(ccap.base)
+        if mem_color is None or mem_color != ccap.color:
+            self.stats.miscolor_faults += 1
+            raise CapabilityError(
+                f"color mismatch at {ccap.base:#x}: capability color "
+                f"{ccap.color} vs memory color {mem_color}"
+            )

@@ -1,0 +1,105 @@
+"""Unmapped-memory quarantine (§6.2).
+
+snmalloc never returns address space, but mmap-heavy consumers do (the
+paper's example: a program repeatedly mapping files to copy them), which
+opens intra- and inter-allocator UAF/UAR through ``mmap`` itself. The
+paper's two-part fix, implemented (but not evaluated) there and here:
+
+1. partial ``munmap`` leaves guard mappings behind — holes in a
+   reservation can never be refilled (:meth:`repro.kernel.vm.AddressSpace.munmap`
+   already does this);
+2. fully-unmapped reservations are *quarantined*: their whole range is
+   painted in the revocation bitmap so the next sweep revokes every
+   capability referencing them, and only after that epoch is the
+   reservation recycled.
+
+:class:`ReservationQuarantine` implements part 2 on top of the existing
+sweep infrastructure — the revokers need no changes, which is exactly the
+paper's point ("we have extended Cornucopia and Reloaded's sweep
+infrastructure to search for and revoke capabilities referencing
+quarantined mappings").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VMError
+from repro.kernel.epoch import release_epoch_for
+from repro.kernel.kernel import Kernel
+from repro.kernel.vm import Reservation, ReservationState
+
+
+@dataclass
+class _PendingReservation:
+    reservation: Reservation
+    observed_epoch: int
+
+    @property
+    def release_at(self) -> int:
+        return release_epoch_for(self.observed_epoch)
+
+
+class ReservationQuarantine:
+    """Quarantine-gated recycling of fully-unmapped reservations."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._pending: list[_PendingReservation] = []
+        self.recycled: list[Reservation] = []
+
+    def quarantine(self, reservation: Reservation) -> None:
+        """Paint a fully-unmapped reservation and hold it until a
+        revocation epoch has begun and ended after the paint."""
+        if reservation.state is not ReservationState.QUARANTINED:
+            raise VMError(
+                "only fully-unmapped reservations enter mmap quarantine"
+            )
+        self.kernel.shadow.paint(reservation.base, reservation.length)
+        self._pending.append(
+            _PendingReservation(reservation, self.kernel.epoch.read())
+        )
+
+    def munmap_and_quarantine(self, reservation: Reservation) -> None:
+        """Convenience: unmap the whole reservation, then quarantine it."""
+        addr = reservation.base
+        remaining = [
+            vpn
+            for vpn in range(
+                reservation.start_vpn, reservation.start_vpn + reservation.num_pages
+            )
+            if vpn not in reservation.guarded_vpns
+        ]
+        if remaining:
+            # Unmap the still-mapped pages (contiguous runs).
+            run_start = remaining[0]
+            prev = remaining[0]
+            for vpn in remaining[1:] + [None]:
+                if vpn is not None and vpn == prev + 1:
+                    prev = vpn
+                    continue
+                self.kernel.address_space.munmap(
+                    reservation, run_start * 4096, (prev - run_start + 1) * 4096
+                )
+                if vpn is not None:
+                    run_start = prev = vpn
+        self.quarantine(reservation)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def poll(self) -> list[Reservation]:
+        """Recycle every reservation whose epoch has passed; returns them.
+
+        Call after revocation epochs complete (the examples poll from the
+        application; a production integration would hook the epoch event).
+        """
+        counter = self.kernel.epoch.read()
+        ready = [p for p in self._pending if counter >= p.release_at]
+        self._pending = [p for p in self._pending if counter < p.release_at]
+        for p in ready:
+            self.kernel.shadow.unpaint(p.reservation.base, p.reservation.length)
+            self.kernel.address_space.recycle(p.reservation)
+            self.recycled.append(p.reservation)
+        return [p.reservation for p in ready]

@@ -1,0 +1,24 @@
+"""CheriBSD-like kernel substrate: VM, shadow bitmap, epochs, hoards,
+and the revoker subsystem."""
+
+from repro.kernel.epoch import EpochClock, release_epoch_for
+from repro.kernel.hoards import KernelHoards, RegisterFile, ScanOutcome
+from repro.kernel.kernel import Kernel
+from repro.kernel.shadow import RevocationBitmap
+from repro.kernel.syscalls import ShadowGrant, SyscallInterface
+from repro.kernel.vm import AddressSpace, Reservation, ReservationState
+
+__all__ = [
+    "AddressSpace",
+    "EpochClock",
+    "Kernel",
+    "KernelHoards",
+    "RegisterFile",
+    "Reservation",
+    "ReservationState",
+    "RevocationBitmap",
+    "ScanOutcome",
+    "ShadowGrant",
+    "SyscallInterface",
+    "release_epoch_for",
+]

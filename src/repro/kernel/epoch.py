@@ -1,0 +1,57 @@
+"""The revocation epoch clock (§2.2.3).
+
+A publicly readable counter, initialized to zero, incremented *prior to*
+the start of every revocation pass and *again after* its end: odd while a
+revocation is in flight, even when idle.
+
+The dequarantine rule: an allocator that painted memory while reading
+epoch ``e`` must wait until the counter has advanced at least twice (if
+``e`` was even) or thrice (if odd) — this guarantees a full revocation
+pass both *began* and *ended* after the paint. :func:`release_epoch_for`
+computes that threshold.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.machine.scheduler import Event
+
+
+def release_epoch_for(observed: int) -> int:
+    """The counter value at which memory painted while reading ``observed``
+    may be dequarantined (§2.2.3)."""
+    if observed % 2 == 0:
+        return observed + 2
+    return observed + 3
+
+
+class EpochClock:
+    """The kernel's epoch counter plus a wakeup event for waiters."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+        #: Signaled (broadcast) at every counter transition; waiters must
+        #: re-check their condition.
+        self.changed = Event("epoch-changed")
+        #: Epochs completed (counter end-transitions), for rate statistics.
+        self.completed = 0
+
+    @property
+    def revoking(self) -> bool:
+        """True while a revocation pass is in flight (counter is odd)."""
+        return self.counter % 2 == 1
+
+    def begin_revocation(self) -> None:
+        if self.revoking:
+            raise SimulationError("revocation already in flight")
+        self.counter += 1
+
+    def end_revocation(self) -> None:
+        if not self.revoking:
+            raise SimulationError("no revocation in flight")
+        self.counter += 1
+        self.completed += 1
+
+    def read(self) -> int:
+        """What a user-space allocator sees when it loads the counter."""
+        return self.counter

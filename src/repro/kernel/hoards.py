@@ -1,0 +1,114 @@
+"""Kernel capability hoards (§4.4).
+
+User pointers flow freely into the kernel: ephemerally (system call
+arguments) or hoarded — kqueue/aio-style subsystems keep user capabilities
+and return them later, and a context-switched thread's register file is
+itself a hoard. At some point during every revocation epoch the kernel
+must scan everything it holds on behalf of the process, and must never
+divulge an unchecked capability. For Reloaded this scan happens in the
+stop-the-world phase (§4.4).
+
+:class:`RegisterFile` models a thread's capability registers;
+:class:`KernelHoards` models the named hoarding subsystems. Both expose
+``scan`` — test each capability against the revocation bitmap and clear
+the condemned ones — and report counts so the STW cost can be charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.shadow import RevocationBitmap
+from repro.machine.capability import Capability
+
+
+@dataclass
+class ScanOutcome:
+    """Result of scanning one capability store: how many were looked at
+    and how many were revoked."""
+
+    checked: int = 0
+    revoked: int = 0
+
+    def merge(self, other: "ScanOutcome") -> None:
+        self.checked += other.checked
+        self.revoked += other.revoked
+
+
+class RegisterFile:
+    """A user thread's capability registers.
+
+    Workloads keep their working pointers here; the STW register scan
+    (§3.2) walks it. Capacity mirrors the architectural register count —
+    spills go through memory, where the sweep finds them.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self._regs: dict[int, Capability] = {}
+
+    def set(self, index: int, cap: Capability) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"register {index} out of range")
+        self._regs[index] = cap
+
+    def get(self, index: int) -> Capability | None:
+        return self._regs.get(index)
+
+    def clear(self, index: int) -> None:
+        self._regs.pop(index, None)
+
+    def live_caps(self) -> list[tuple[int, Capability]]:
+        return [(i, c) for i, c in self._regs.items() if c.tag]
+
+    def __len__(self) -> int:
+        return len(self._regs)
+
+    def scan(self, shadow: RevocationBitmap) -> ScanOutcome:
+        """Clear every revoked capability in this register file."""
+        outcome = ScanOutcome()
+        for index, cap in list(self._regs.items()):
+            if not cap.tag:
+                continue
+            outcome.checked += 1
+            if shadow.is_revoked(cap):
+                self._regs[index] = cap.cleared()
+                outcome.revoked += 1
+        return outcome
+
+
+class KernelHoards:
+    """Named kernel subsystems hoarding user capabilities (kqueue, aio,
+    saved register files of descheduled threads...)."""
+
+    def __init__(self) -> None:
+        self._hoards: dict[str, list[Capability]] = {}
+
+    def stash(self, subsystem: str, cap: Capability) -> int:
+        """Hoard ``cap`` in ``subsystem``; returns a ticket to retrieve it."""
+        hoard = self._hoards.setdefault(subsystem, [])
+        hoard.append(cap)
+        return len(hoard) - 1
+
+    def retrieve(self, subsystem: str, ticket: int) -> Capability:
+        """Return a hoarded capability to user space. The kernel may never
+        divulge an unchecked capability; because every scan runs while the
+        world is stopped and copy-out happens only afterwards, whatever is
+        stored here has been checked (§4.4)."""
+        return self._hoards[subsystem][ticket]
+
+    def total_caps(self) -> int:
+        return sum(len(h) for h in self._hoards.values())
+
+    def scan(self, shadow: RevocationBitmap) -> ScanOutcome:
+        """Clear every revoked capability in every hoard."""
+        outcome = ScanOutcome()
+        for hoard in self._hoards.values():
+            for i, cap in enumerate(hoard):
+                if not cap.tag:
+                    continue
+                outcome.checked += 1
+                if shadow.is_revoked(cap):
+                    hoard[i] = cap.cleared()
+                    outcome.revoked += 1
+        return outcome

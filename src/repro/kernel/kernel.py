@@ -1,0 +1,59 @@
+"""The assembled kernel for the process under test.
+
+Owns the address space, the revocation bitmap, the epoch clock, the
+kernel capability hoards, and (optionally) one installed revoker. The
+simulation layer routes architectural traps here.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.errors import SimulationError
+from repro.kernel.epoch import EpochClock
+from repro.kernel.hoards import KernelHoards, RegisterFile
+from repro.kernel.revoker.base import Revoker
+from repro.kernel.shadow import RevocationBitmap
+from repro.kernel.vm import AddressSpace
+from repro.machine.cpu import Core
+from repro.machine.machine import Machine
+from repro.machine.trap import LoadGenerationFault
+
+
+class Kernel:
+    """CheriBSD-like kernel state for one process."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.address_space = AddressSpace(machine)
+        self.shadow = RevocationBitmap(machine.memory.size_bytes)
+        self.epoch = EpochClock()
+        self.hoards = KernelHoards()
+        self.revoker: Revoker | None = None
+
+    def install_revoker(self, revoker_cls: Type[Revoker]) -> Revoker:
+        """Instantiate and install a revocation strategy."""
+        if self.revoker is not None:
+            raise SimulationError("a revoker is already installed")
+        self.revoker = revoker_cls(
+            self.machine,
+            self.address_space,
+            self.shadow,
+            self.epoch,
+            self.hoards,
+        )
+        return self.revoker
+
+    def register_thread(self, register_file: RegisterFile) -> None:
+        """Tell the revoker about a user thread's register file so the
+        STW root scan covers it (§4.4)."""
+        if self.revoker is not None:
+            self.revoker.register_files.append(register_file)
+
+    def handle_lg_fault(self, core: Core, fault: LoadGenerationFault) -> int:
+        """Foreground load-generation fault dispatch; returns cycles."""
+        if self.revoker is None:
+            raise SimulationError(
+                "load-generation fault with no revoker installed"
+            ) from fault
+        return self.revoker.handle_lg_fault(core, fault.vpn)

@@ -1,0 +1,17 @@
+"""Revocation strategies: CHERIvoke, Cornucopia, Reloaded, Paint+sync."""
+
+from repro.kernel.revoker.base import EpochRecord, PhaseSample, Revoker
+from repro.kernel.revoker.cherivoke import CheriVokeRevoker
+from repro.kernel.revoker.cornucopia import CornucopiaRevoker
+from repro.kernel.revoker.paint_sync import PaintSyncRevoker
+from repro.kernel.revoker.reloaded import ReloadedRevoker
+
+__all__ = [
+    "CheriVokeRevoker",
+    "CornucopiaRevoker",
+    "EpochRecord",
+    "PaintSyncRevoker",
+    "PhaseSample",
+    "ReloadedRevoker",
+    "Revoker",
+]

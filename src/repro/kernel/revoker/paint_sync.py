@@ -1,0 +1,34 @@
+"""Paint+sync: quarantine machinery without revocation (§5).
+
+The paper's fourth condition: the user-space quarantine bitmap management
+(painting, batching, epoch synchronization) runs exactly as with the real
+strategies, but revocation epochs perform *no* sweeping — they just tick
+the epoch counter so quarantine drains on the usual schedule.
+
+Paint+sync provides **no temporal safety**; it exists to separate the
+shim's overheads from the revokers' (figs. 2, 5, 7, 8).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.revoker.base import Revoker
+from repro.machine.cpu import Core
+from repro.machine.scheduler import CoreSlot
+
+
+class PaintSyncRevoker(Revoker):
+    """Epoch ticks with zero sweep work and zero pauses."""
+
+    name = "paint+sync"
+    provides_safety = False
+
+    def revoke(self, core: Core, slot: CoreSlot) -> Generator:
+        record = self._open_epoch(slot)
+        yield self.costs.revoke_syscall
+        # No STW, no sweep: the epoch completes immediately.
+        begin = slot.time
+        yield self.costs.revoke_syscall
+        self._phase(record, "tick", "concurrent", begin, slot.time)
+        self._close_epoch(slot)

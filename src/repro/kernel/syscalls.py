@@ -1,0 +1,100 @@
+"""The system call surface between user space and the kernel.
+
+CheriBSD exposes revocation to user space through a small ABI: the
+mapped, read-only epoch counter; the revocation bitmap painting interface
+(capability-derived access to the process's shadow region, §2.2.2 fn. 10);
+and the revocation syscall the mrs controller invokes once per phase
+(§4.3 fn. 21), which holds the address map busy for the concurrent
+phases.
+
+In this model the allocator layers call kernel objects directly for
+speed; :class:`SyscallInterface` packages the same operations behind an
+explicit, validated boundary for code (examples, tests, external tools)
+that wants the ABI shape — including the access-control checks the fast
+path skips, mirroring how the paper's experiments "unsafely bypass" the
+bitmap controls through a shim while the real ABI enforces them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import VMError
+from repro.kernel.kernel import Kernel
+from repro.kernel.vm import Reservation
+from repro.machine.capability import Capability
+from repro.machine.cpu import Core
+from repro.machine.scheduler import CoreSlot
+
+
+@dataclass(frozen=True)
+class ShadowGrant:
+    """Capability-based access to part of the revocation bitmap: the
+    kernel grants an allocator paint rights only over its own heap
+    (Cornucopia's appendix A access control)."""
+
+    base: int
+    length: int
+
+    def covers(self, addr: int, nbytes: int) -> bool:
+        return self.base <= addr and addr + nbytes <= self.base + self.length
+
+
+class SyscallInterface:
+    """The user-visible kernel ABI."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._grants: list[ShadowGrant] = []
+
+    # --- Memory mapping -----------------------------------------------------
+
+    def sys_mmap(self, nbytes: int) -> tuple[Capability, Reservation]:
+        """Map fresh address space; the returned capability is the root
+        of everything derivable over the reservation."""
+        return self.kernel.address_space.mmap(nbytes)
+
+    def sys_munmap(self, reservation: Reservation, addr: int, nbytes: int) -> None:
+        self.kernel.address_space.munmap(reservation, addr, nbytes)
+
+    # --- Shadow bitmap access control (§2.2.2 fn. 10) --------------------------
+
+    def grant_shadow(self, heap: Capability) -> ShadowGrant:
+        """Grant paint rights over ``heap``'s range (the kernel would hand
+        back a capability to the corresponding bitmap slice)."""
+        if not heap.tag:
+            raise VMError("shadow grant requires a valid heap capability")
+        grant = ShadowGrant(heap.base, heap.length)
+        self._grants.append(grant)
+        return grant
+
+    def sys_paint(self, grant: ShadowGrant, addr: int, nbytes: int) -> int:
+        """Paint within a granted range; painting outside it is refused
+        (a stray allocator cannot condemn someone else's memory)."""
+        if grant not in self._grants or not grant.covers(addr, nbytes):
+            raise VMError(
+                f"shadow paint outside grant [{grant.base:#x},"
+                f"{grant.base + grant.length:#x}): {addr:#x}+{nbytes}"
+            )
+        return self.kernel.shadow.paint(addr, nbytes)
+
+    def sys_unpaint(self, grant: ShadowGrant, addr: int, nbytes: int) -> int:
+        if grant not in self._grants or not grant.covers(addr, nbytes):
+            raise VMError("shadow unpaint outside grant")
+        return self.kernel.shadow.unpaint(addr, nbytes)
+
+    # --- Epochs and revocation --------------------------------------------------
+
+    def sys_epoch_read(self) -> int:
+        """The mapped, read-only epoch counter (§2.2.3)."""
+        return self.kernel.epoch.read()
+
+    def sys_revoke(self, core: Core, slot: CoreSlot) -> Generator:
+        """The revocation syscall: runs one full epoch on the calling
+        thread (which must not be stopped by the world-stop — it drives
+        it). The caller is the mrs controller thread in practice."""
+        revoker = self.kernel.revoker
+        if revoker is None:
+            raise VMError("no revoker configured in this kernel")
+        yield from revoker.revoke(core, slot)

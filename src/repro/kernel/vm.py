@@ -1,0 +1,159 @@
+"""Virtual memory: mappings and reservations.
+
+The simulation runs one process under test, so there is a single
+:class:`AddressSpace` over the machine's memory. ``mmap`` hands out
+capability-bounded regions backed by reservations (§6.2): bounds are
+padded to the representable length required by compressed capabilities,
+the padding is backed by guard pages, and partial ``munmap`` leaves guard
+mappings behind so holes can never be refilled by later mappings (the
+UAF-through-mmap gap the paper closes). Fully-unmapped reservations are
+quarantined and only recycled after a revocation pass — that part lives
+in :mod:`repro.extensions.reservations`.
+
+Peak resident set (the paper's fig. 3 metric) is tracked here: a page
+counts toward RSS while mapped and non-guard, which includes pages whose
+contents sit in allocator quarantine — exactly why quarantine shows up as
+RSS overshoot in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import VMError
+from repro.machine.capability import Capability, representable_length
+from repro.machine.costs import PAGE_BYTES
+from repro.machine.machine import Machine
+
+
+class ReservationState(enum.Enum):
+    ACTIVE = "active"
+    QUARANTINED = "quarantined"  # fully unmapped, awaiting revocation
+    RECYCLED = "recycled"
+
+
+@dataclass
+class Reservation:
+    """A contiguous span of address space handed out by one mmap (§6.2)."""
+
+    start_vpn: int
+    num_pages: int
+    requested_bytes: int
+    state: ReservationState = ReservationState.ACTIVE
+    #: Pages munmapped so far (now guard mappings).
+    guarded_vpns: set[int] = field(default_factory=set)
+
+    @property
+    def base(self) -> int:
+        return self.start_vpn * PAGE_BYTES
+
+    @property
+    def length(self) -> int:
+        return self.num_pages * PAGE_BYTES
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.length
+
+
+class AddressSpace:
+    """The process's address space: a bump allocator of page spans.
+
+    The system allocators never return address space (§6.2: snmalloc and
+    the C runtime's embedded allocators never munmap), so a bump layout is
+    faithful; the reservations extension adds quarantine-gated recycling
+    for mmap-heavy consumers.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._next_vpn = 1  # page 0 stays unmapped (null-ish guard)
+        self.num_pages_total = machine.memory.num_pages
+        self.reservations: list[Reservation] = []
+        self.mapped_pages = 0
+        self.peak_mapped_pages = 0
+        #: The load-generation value newly mapped PTEs receive. The kernel
+        #: keeps this equal to the cores' CLG so fresh (tag-free) pages
+        #: never fault (§4.1 fn. 19).
+        self.current_lg = 0
+        #: §7.6: when set (by AlwaysTrapReloadedRevoker), fresh pages are
+        #: born in the always-trap disposition instead.
+        self.new_pages_always_trap = False
+
+    # --- Mapping -----------------------------------------------------------------
+
+    def mmap(self, nbytes: int, *, cap_store: bool = True) -> tuple[Capability, Reservation]:
+        """Map a fresh region of at least ``nbytes`` and return the root
+        capability over it plus its reservation.
+
+        The reservation is padded to the compressed-bounds representable
+        length; the capability's bounds cover exactly the representable
+        region (padding is part of the reservation, backed by real pages
+        here for simplicity — the paper backs padding with guards).
+        """
+        if nbytes <= 0:
+            raise VMError(f"mmap of non-positive size {nbytes}")
+        length = representable_length(nbytes)
+        pages = (length + PAGE_BYTES - 1) // PAGE_BYTES
+        start = self._next_vpn
+        if start + pages > self.num_pages_total:
+            raise VMError(
+                f"address space exhausted: want {pages} pages at {start} "
+                f"of {self.num_pages_total}"
+            )
+        self._next_vpn = start + pages
+        for vpn in range(start, start + pages):
+            self.machine.pagetable.map_page(
+                vpn, cap_store=cap_store, lg=self.current_lg,
+                always_trap_cap_loads=self.new_pages_always_trap,
+            )
+        self.mapped_pages += pages
+        self.peak_mapped_pages = max(self.peak_mapped_pages, self.mapped_pages)
+        reservation = Reservation(start, pages, nbytes)
+        self.reservations.append(reservation)
+        cap = Capability.root(start * PAGE_BYTES, pages * PAGE_BYTES)
+        return cap, reservation
+
+    def munmap(self, reservation: Reservation, addr: int, nbytes: int) -> None:
+        """Unmap pages of a reservation, replacing them with guard pages so
+        the hole cannot be refilled (§6.2 step 1). When the last page goes,
+        the reservation is quarantined."""
+        if reservation.state is not ReservationState.ACTIVE:
+            raise VMError("munmap of a non-active reservation")
+        if addr % PAGE_BYTES or nbytes % PAGE_BYTES or nbytes <= 0:
+            raise VMError("munmap must be page aligned")
+        first = addr // PAGE_BYTES
+        last = (addr + nbytes) // PAGE_BYTES
+        if first < reservation.start_vpn or last > reservation.start_vpn + reservation.num_pages:
+            raise VMError("munmap outside reservation")
+        for vpn in range(first, last):
+            if vpn in reservation.guarded_vpns:
+                raise VMError(f"double munmap of page {vpn}")
+            pte = self.machine.pagetable.require(vpn)
+            pte.guard = True
+            pte.readable = pte.writable = False
+            self.machine.memory.zero_page(vpn)
+            reservation.guarded_vpns.add(vpn)
+            self.machine.tlb_shootdown(vpn)
+        self.mapped_pages -= last - first
+        if len(reservation.guarded_vpns) == reservation.num_pages:
+            reservation.state = ReservationState.QUARANTINED
+
+    def recycle(self, reservation: Reservation) -> None:
+        """Tear down a fully-revoked quarantined reservation, releasing its
+        page-table entries (used by the reservations extension)."""
+        if reservation.state is not ReservationState.QUARANTINED:
+            raise VMError("recycle of a non-quarantined reservation")
+        for vpn in range(reservation.start_vpn, reservation.start_vpn + reservation.num_pages):
+            self.machine.pagetable.unmap_page(vpn)
+        reservation.state = ReservationState.RECYCLED
+
+    # --- Reporting ------------------------------------------------------------------
+
+    @property
+    def rss_bytes(self) -> int:
+        return self.mapped_pages * PAGE_BYTES
+
+    @property
+    def peak_rss_bytes(self) -> int:
+        return self.peak_mapped_pages * PAGE_BYTES

@@ -1,0 +1,73 @@
+"""Simulated CHERI/Morello machine substrate.
+
+Public surface: :class:`Machine` (the assembled SMP), the
+:class:`Capability` value type, and the cost model. See DESIGN.md §2 for
+the module map.
+"""
+
+from repro.machine.cache import Bus, Cache
+from repro.machine.capability import Capability, Perm, representable_length
+from repro.machine.costs import (
+    CostModel,
+    GRANULE_BYTES,
+    GRANULES_PER_PAGE,
+    LINE_BYTES,
+    LINES_PER_PAGE,
+    PAGE_BYTES,
+    cycles_to_micros,
+    cycles_to_millis,
+    cycles_to_seconds,
+    default_cost_model,
+)
+from repro.machine.cpu import Core
+from repro.machine.machine import Machine
+from repro.machine.memory import TaggedMemory
+from repro.machine.pagetable import PTE, PageTable, TLB
+from repro.machine.scheduler import (
+    Block,
+    Event,
+    ResumeWorld,
+    Scheduler,
+    Sleep,
+    StopWorld,
+    StwRecord,
+    Thread,
+    ThreadState,
+)
+from repro.machine.trap import CapStoreFault, LoadGenerationFault, PageFault
+
+__all__ = [
+    "Block",
+    "Bus",
+    "Cache",
+    "CapStoreFault",
+    "Capability",
+    "Core",
+    "CostModel",
+    "Event",
+    "GRANULES_PER_PAGE",
+    "GRANULE_BYTES",
+    "LINES_PER_PAGE",
+    "LINE_BYTES",
+    "LoadGenerationFault",
+    "Machine",
+    "PAGE_BYTES",
+    "PTE",
+    "PageFault",
+    "PageTable",
+    "Perm",
+    "ResumeWorld",
+    "Scheduler",
+    "Sleep",
+    "StopWorld",
+    "StwRecord",
+    "TLB",
+    "TaggedMemory",
+    "Thread",
+    "ThreadState",
+    "cycles_to_micros",
+    "cycles_to_millis",
+    "cycles_to_seconds",
+    "default_cost_model",
+    "representable_length",
+]

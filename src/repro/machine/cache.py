@@ -1,0 +1,158 @@
+"""Per-core cache and memory-bus traffic accounting.
+
+The paper reports "bus accesses (a proxy for DRAM accesses) ... by
+system-mode pmcstat" (§5) per core; figures 4 and 6 compare the traffic
+each revocation strategy induces. This module provides the equivalent
+instrumentation: each simulated core owns a single-level LRU line cache in
+front of a shared :class:`Bus` that counts transactions per source.
+
+The cache is deliberately simple (fully-associative LRU over 64-byte
+lines). What the figures measure is *which pages get streamed how many
+times* by sweeps versus the application's resident working set — behaviour
+an LRU capture perfectly well — not associativity effects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.machine.costs import LINE_BYTES, LINES_PER_PAGE
+
+
+@dataclass
+class BusCounters:
+    """Transaction counts attributed to one source (core or subsystem)."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class Bus:
+    """The shared memory bus: counts DRAM transactions per source.
+
+    Also tracks whether a revocation sweep is actively streaming memory;
+    the CPU model consults :attr:`sweep_active` to apply the bandwidth
+    contention factor (§5.6) to concurrent application misses.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, BusCounters] = {}
+        self._sweepers: int = 0
+
+    def _of(self, source: str) -> BusCounters:
+        counters = self.counters.get(source)
+        if counters is None:
+            counters = self.counters[source] = BusCounters()
+        return counters
+
+    def read(self, source: str, lines: int = 1) -> None:
+        self._of(source).reads += lines
+
+    def write(self, source: str, lines: int = 1) -> None:
+        self._of(source).writes += lines
+
+    # --- Sweep contention -------------------------------------------------
+
+    def sweep_begin(self) -> None:
+        self._sweepers += 1
+
+    def sweep_end(self) -> None:
+        self._sweepers -= 1
+        assert self._sweepers >= 0
+
+    @property
+    def sweep_active(self) -> bool:
+        return self._sweepers > 0
+
+    # --- Reporting ---------------------------------------------------------
+
+    def total_transactions(self) -> int:
+        return sum(c.total for c in self.counters.values())
+
+    def transactions(self, source: str) -> int:
+        return self._of(source).total
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: c.total for name, c in self.counters.items()}
+
+
+class Cache:
+    """A fully-associative LRU cache of 64-byte lines for one core.
+
+    ``access`` returns True on a miss. Misses issue a bus read; evicting a
+    dirty line issues a bus write-back.
+    """
+
+    def __init__(self, bus: Bus, source: str, capacity_bytes: int = 1 << 20) -> None:
+        if capacity_bytes < LINE_BYTES:
+            raise ValueError("cache smaller than one line")
+        self.bus = bus
+        self.source = source
+        self.capacity_lines = capacity_bytes // LINE_BYTES
+        #: line address -> dirty flag, in LRU order (oldest first).
+        self._lines: OrderedDict[int, bool] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _touch(self, line: int, write: bool) -> bool:
+        """Access one line; returns True if it missed."""
+        lines = self._lines
+        if line in lines:
+            dirty = lines.pop(line)
+            lines[line] = dirty or write
+            self.hits += 1
+            return False
+        self.misses += 1
+        self.bus.read(self.source)
+        if len(lines) >= self.capacity_lines:
+            _, victim_dirty = lines.popitem(last=False)
+            if victim_dirty:
+                self.bus.write(self.source)
+        lines[line] = write
+        return True
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access the line containing ``addr``; returns True on a miss."""
+        return self._touch(addr // LINE_BYTES, write)
+
+    def access_range(self, addr: int, nbytes: int, write: bool = False) -> int:
+        """Access every line in ``[addr, addr+nbytes)``; returns miss count."""
+        if nbytes <= 0:
+            return 0
+        first = addr // LINE_BYTES
+        last = (addr + nbytes - 1) // LINE_BYTES
+        misses = 0
+        for line in range(first, last + 1):
+            if self._touch(line, write):
+                misses += 1
+        return misses
+
+    def access_page(self, vpn: int, write: bool = False) -> int:
+        """Stream one whole page through the cache (a sweep visit);
+        returns the number of lines that missed."""
+        base_line = vpn * LINES_PER_PAGE
+        misses = 0
+        for line in range(base_line, base_line + LINES_PER_PAGE):
+            if self._touch(line, write):
+                misses += 1
+        return misses
+
+    def invalidate_page(self, vpn: int) -> None:
+        """Drop all lines of a page (page reuse after unmap)."""
+        base_line = vpn * LINES_PER_PAGE
+        for line in range(base_line, base_line + LINES_PER_PAGE):
+            self._lines.pop(line, None)
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

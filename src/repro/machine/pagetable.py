@@ -1,0 +1,153 @@
+"""Page tables with capability load-generation and dirty metadata.
+
+Each mapped page's PTE carries, beyond the usual permissions:
+
+- ``cap_store`` permission — capability stores trap without it (the
+  CHERI-MIPS-era control reused for shared file mappings, §2.2.4 fn. 13);
+- ``cap_dirty`` (CD) — set by hardware on the first capability store, the
+  store barrier both Cornucopia and Reloaded use to skip capability-clean
+  pages (§2.2.4, §4.2);
+- ``redirtied`` — set by a capability store while a revocation sweep is in
+  flight; Cornucopia must re-visit such pages with the world stopped
+  (§2.2.5), and hardware dirty-bit tracking makes this cheap (§4.2);
+- ``lg`` — the load generation bit compared against the core's CLG control
+  register on every tagged capability load (§4.1). Only Reloaded flips
+  generations; for the other strategies the bit stays in agreement.
+
+Per-core TLBs cache PTE snapshots; a stale TLB entry whose generation
+disagrees with the (already-updated) PTE causes a spurious fault resolved
+by a TLB refill, exactly the double-check in §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import VMError
+
+
+@dataclass
+class PTE:
+    """One page table entry. Mutable: the kernel and revokers update it."""
+
+    vpn: int
+    readable: bool = True
+    writable: bool = True
+    cap_load: bool = True
+    cap_store: bool = True
+    #: CD bit: a capability store has happened since the page was mapped
+    #: or last observed clean. Pages with cap_dirty False need no content
+    #: sweep (§2.2.4).
+    cap_dirty: bool = False
+    #: A capability store has happened since the current epoch's sweep
+    #: visited this page (hardware-assisted re-dirty tracking, §4.2).
+    redirtied: bool = False
+    #: Load generation bit (§4.1).
+    lg: int = 0
+    #: §7.6 disposition: capability loads from this page always trap,
+    #: regardless of generation or loaded tag; the page needs no
+    #: generation maintenance while it stays capability-clean.
+    always_trap_cap_loads: bool = False
+    #: Guard page: mapped to fault on any access (reservation holes, §6.2).
+    guard: bool = False
+    #: Visited by the current epoch's sweep (kernel bookkeeping; cleared
+    #: when an epoch opens).
+    swept_this_epoch: bool = False
+
+
+class PageTable:
+    """The page table of the (single) simulated address space."""
+
+    def __init__(self) -> None:
+        self._ptes: dict[int, PTE] = {}
+
+    def map_page(
+        self,
+        vpn: int,
+        *,
+        writable: bool = True,
+        cap_store: bool = True,
+        lg: int = 0,
+        guard: bool = False,
+        always_trap_cap_loads: bool = False,
+    ) -> PTE:
+        if vpn in self._ptes:
+            raise VMError(f"page {vpn} already mapped")
+        pte = PTE(vpn=vpn, writable=writable, cap_store=cap_store, lg=lg,
+                  guard=guard, always_trap_cap_loads=always_trap_cap_loads)
+        self._ptes[vpn] = pte
+        return pte
+
+    def unmap_page(self, vpn: int) -> None:
+        if vpn not in self._ptes:
+            raise VMError(f"page {vpn} not mapped")
+        del self._ptes[vpn]
+
+    def get(self, vpn: int) -> PTE | None:
+        return self._ptes.get(vpn)
+
+    def require(self, vpn: int) -> PTE:
+        pte = self._ptes.get(vpn)
+        if pte is None:
+            raise VMError(f"page {vpn} not mapped")
+        return pte
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._ptes
+
+    def __len__(self) -> int:
+        return len(self._ptes)
+
+    def mapped_pages(self) -> Iterator[PTE]:
+        """Iterate PTEs in page order (the background sweep's visit order)."""
+        for vpn in sorted(self._ptes):
+            yield self._ptes[vpn]
+
+    def cap_dirty_pages(self) -> list[PTE]:
+        return [p for p in self.mapped_pages() if p.cap_dirty and not p.guard]
+
+    def redirtied_pages(self) -> list[PTE]:
+        return [p for p in self.mapped_pages() if p.redirtied and not p.guard]
+
+
+@dataclass
+class TLBEntry:
+    """A core-local snapshot of the PTE fields the pipeline consults."""
+
+    lg: int
+    cap_load: bool
+    cap_store: bool
+    always_trap: bool = False
+
+
+class TLB:
+    """One core's TLB.
+
+    Models *staleness* (which generates the spurious-fault path of §4.3
+    and forces CHERIvoke/Cornucopia-era designs into shootdowns) rather
+    than capacity pressure.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, TLBEntry] = {}
+        self.refills = 0
+        self.shootdowns = 0
+
+    def lookup(self, vpn: int) -> TLBEntry | None:
+        return self._entries.get(vpn)
+
+    def fill(self, vpn: int, pte: PTE) -> TLBEntry:
+        entry = TLBEntry(lg=pte.lg, cap_load=pte.cap_load,
+                         cap_store=pte.cap_store,
+                         always_trap=pte.always_trap_cap_loads)
+        self._entries[vpn] = entry
+        self.refills += 1
+        return entry
+
+    def invalidate(self, vpn: int) -> None:
+        self._entries.pop(vpn, None)
+
+    def invalidate_all(self) -> None:
+        self._entries.clear()
+        self.shootdowns += 1

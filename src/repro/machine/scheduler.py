@@ -1,0 +1,399 @@
+"""Cooperative discrete-event scheduler with a stop-the-world protocol.
+
+Threads are Python generators. Everything a thread yields is either a
+cycle count (time consumed on its core) or one of the control objects
+defined here:
+
+- :class:`Sleep` — advance time without consuming CPU (idle gaps between
+  pgbench transactions, client think time);
+- :class:`Block` — wait on an :class:`Event` (epoch waits, quarantine-full
+  back-pressure);
+- :class:`StopWorld` / :class:`ResumeWorld` — the revocation syscall's
+  world-stop rendezvous. Only threads with ``stops_for_stw`` set are
+  stopped (application threads); the revoker's own thread keeps running.
+
+Cores have independent clocks; the scheduler always advances the
+least-advanced core that has runnable work, so clocks never drift by more
+than one operation. Idle cores fast-forward when work arrives. A per-core
+round-robin with a preemption quantum models timesharing — which is what
+lets the background revoker steal time from gRPC's unpinned server
+threads (§5.3, §7.7).
+
+Convention used throughout the package: every kernel or allocator entry
+point that can consume simulated time or block is itself a generator,
+composed with ``yield from``; leaf helpers return plain cycle counts that
+the caller yields.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.machine.cpu import Core
+
+#: Default preemption quantum, cycles (1 ms at 2.5 GHz).
+DEFAULT_QUANTUM = 2_500_000
+
+#: What a thread body may yield.
+Yieldable = "int | Sleep | Block | StopWorld | ResumeWorld"
+ThreadBody = Generator
+
+
+class Sleep:
+    """Advance this thread's wake time by ``cycles`` without busying a core."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise SimulationError(f"negative sleep {cycles}")
+        self.cycles = cycles
+
+
+class Event:
+    """A broadcast condition: ``signal`` wakes every current waiter.
+
+    Waiters must re-check their condition after waking (standard condition
+    variable discipline); the epoch counter and quarantine policies use
+    this via wait-loops.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.waiters: list[Thread] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Event({self.name}, waiters={len(self.waiters)})"
+
+
+class Block:
+    """Yielded to wait on an :class:`Event`."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+
+class StopWorld:
+    """Yielded by the revoker: stop all ``stops_for_stw`` threads.
+
+    The yielding thread resumes (with the world stopped) once every such
+    thread has reached a safe point; the scheduler charges the rendezvous
+    by fast-forwarding the requester to the latest stopped core's clock.
+    """
+
+    __slots__ = ()
+
+
+class ResumeWorld:
+    """Yielded by the revoker to restart the world."""
+
+    __slots__ = ()
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    SLEEPING = "sleeping"
+    BLOCKED = "blocked"
+    STOPPED = "stopped"  # held by stop-the-world
+    FINISHED = "finished"
+
+
+@dataclass
+class StwRecord:
+    """One stop-the-world episode, for pause-time reporting (fig. 9)."""
+
+    begin: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.begin
+
+
+class Thread:
+    """A simulated thread: a generator body pinned to one core."""
+
+    def __init__(
+        self,
+        name: str,
+        body: ThreadBody,
+        core: "CoreSlot",
+        *,
+        stops_for_stw: bool = True,
+    ) -> None:
+        self.name = name
+        self.body = body
+        self.core = core
+        self.stops_for_stw = stops_for_stw
+        self.state = ThreadState.RUNNABLE
+        #: Earliest core time at which this thread may next run.
+        self.wake_floor: int = 0
+        #: Pre-STW state to restore at resume (for held sleepers/blockers).
+        self._held_state: ThreadState | None = None
+        #: Wokens-while-stopped: event fired during STW, run at resume.
+        self._pending_wake = False
+        self.busy_cycles: int = 0
+        self._credit: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Thread({self.name}, {self.state.value}, core={self.core.index})"
+
+
+class CoreSlot:
+    """Scheduler-side state for one core: its clock and run queue."""
+
+    def __init__(self, index: int, core: Core, quantum: int = DEFAULT_QUANTUM) -> None:
+        self.index = index
+        self.core = core
+        self.time: int = 0
+        self.quantum = quantum
+        self.runq: deque[Thread] = deque()
+
+
+class Scheduler:
+    """The machine's thread scheduler and global clock."""
+
+    def __init__(self, cores: Iterable[Core], quantum: int = DEFAULT_QUANTUM) -> None:
+        self.cores = [CoreSlot(i, c, quantum) for i, c in enumerate(cores)]
+        self.threads: list[Thread] = []
+        self._sleeping: list[Thread] = []
+        self.stw_active = False
+        self._stw_requester: Thread | None = None
+        self._stw_begin: int = 0
+        self.stw_records: list[StwRecord] = []
+        #: Called with each StwRecord as it completes (metrics hook).
+        self.on_stw: Callable[[StwRecord], None] | None = None
+        self._steps = 0
+
+    # --- Thread management ---------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        body: ThreadBody,
+        core_index: int,
+        *,
+        stops_for_stw: bool = True,
+    ) -> Thread:
+        """Create a thread pinned to ``core_index`` and make it runnable."""
+        slot = self.cores[core_index]
+        thread = Thread(name, body, slot, stops_for_stw=stops_for_stw)
+        thread.wake_floor = slot.time
+        self.threads.append(thread)
+        if self.stw_active and thread.stops_for_stw:
+            thread.state = ThreadState.STOPPED
+            thread._pending_wake = True
+        else:
+            slot.runq.append(thread)
+        return thread
+
+    def current_time(self) -> int:
+        """The latest core clock (the simulation's wall clock so far)."""
+        return max(slot.time for slot in self.cores)
+
+    # --- Events ---------------------------------------------------------------
+
+    def signal(self, event: Event, at_time: int | None = None) -> None:
+        """Wake every waiter of ``event``.
+
+        ``at_time`` defaults to the current wall clock; woken threads
+        cannot run earlier than it.
+        """
+        when = self.current_time() if at_time is None else at_time
+        waiters, event.waiters = event.waiters, []
+        for thread in waiters:
+            thread.wake_floor = max(thread.wake_floor, when)
+            if thread.state is ThreadState.STOPPED:
+                thread._pending_wake = True
+            elif thread.state is ThreadState.BLOCKED:
+                if self.stw_active and thread.stops_for_stw:
+                    # Held by STW: becomes runnable at world resume.
+                    thread.state = ThreadState.STOPPED
+                    thread._pending_wake = True
+                else:
+                    thread.state = ThreadState.RUNNABLE
+                    thread.core.runq.append(thread)
+
+    # --- Stop-the-world ---------------------------------------------------------
+
+    def _stop_world(self, requester: Thread) -> None:
+        if self.stw_active:
+            raise SimulationError("nested stop-the-world")
+        self.stw_active = True
+        self._stw_requester = requester
+        rendezvous = requester.core.time
+        for thread in self.threads:
+            if thread is requester or not thread.stops_for_stw:
+                continue
+            if thread.state is ThreadState.RUNNABLE:
+                rendezvous = max(rendezvous, thread.core.time)
+                thread.core.runq.remove(thread)
+                thread._held_state = ThreadState.RUNNABLE
+                thread.state = ThreadState.STOPPED
+            elif thread.state is ThreadState.SLEEPING:
+                self._sleeping.remove(thread)
+                thread._held_state = ThreadState.SLEEPING
+                thread.state = ThreadState.STOPPED
+            elif thread.state is ThreadState.BLOCKED:
+                thread._held_state = ThreadState.BLOCKED
+                thread.state = ThreadState.STOPPED
+        requester.core.time = max(requester.core.time, rendezvous)
+        self._stw_begin = requester.core.time
+
+    def _resume_world(self, requester: Thread) -> None:
+        if not self.stw_active or self._stw_requester is not requester:
+            raise SimulationError("resume-world without matching stop-the-world")
+        end = requester.core.time
+        for thread in self.threads:
+            if thread.state is not ThreadState.STOPPED:
+                continue
+            held = thread._held_state
+            thread._held_state = None
+            if held is ThreadState.RUNNABLE or thread._pending_wake:
+                thread._pending_wake = False
+                thread.state = ThreadState.RUNNABLE
+                thread.wake_floor = max(thread.wake_floor, end)
+                thread.core.runq.append(thread)
+            elif held is ThreadState.SLEEPING:
+                thread.state = ThreadState.SLEEPING
+                thread.wake_floor = max(thread.wake_floor, end)
+                self._sleeping.append(thread)
+            elif held is ThreadState.BLOCKED:
+                thread.state = ThreadState.BLOCKED
+            else:  # spawned during STW with no pending wake
+                thread.state = ThreadState.RUNNABLE
+                thread.wake_floor = max(thread.wake_floor, end)
+                thread.core.runq.append(thread)
+        self.stw_active = False
+        self._stw_requester = None
+        record = StwRecord(begin=self._stw_begin, end=end)
+        self.stw_records.append(record)
+        if self.on_stw is not None:
+            self.on_stw(record)
+
+    # --- Main loop -----------------------------------------------------------------
+
+    def _promote_due_sleepers(self) -> None:
+        if not self._sleeping:
+            return
+        still = []
+        for thread in self._sleeping:
+            slot = thread.core
+            if slot.runq and thread.wake_floor > slot.time:
+                still.append(thread)
+                continue
+            # Due now, or the core is idle (it fast-forwards to the wake).
+            thread.state = ThreadState.RUNNABLE
+            slot.runq.append(thread)
+        self._sleeping[:] = still
+
+    def _pick(self) -> Thread | None:
+        self._promote_due_sleepers()
+        best: CoreSlot | None = None
+        best_time = 0
+        for slot in self.cores:
+            if not slot.runq:
+                continue
+            head = slot.runq[0]
+            effective = max(slot.time, head.wake_floor)
+            if best is None or effective < best_time:
+                best = slot
+                best_time = effective
+        if best is None:
+            return None
+        best.time = max(best.time, best.runq[0].wake_floor)
+        return best.runq[0]
+
+    def _rotate(self, thread: Thread) -> None:
+        slot = thread.core
+        if slot.runq and slot.runq[0] is thread:
+            slot.runq.rotate(-1)
+        thread._credit = 0
+
+    def _step(self, thread: Thread) -> None:
+        slot = thread.core
+        try:
+            item = next(thread.body)
+        except StopIteration:
+            thread.state = ThreadState.FINISHED
+            if slot.runq and slot.runq[0] is thread:
+                slot.runq.popleft()
+            elif thread in slot.runq:
+                slot.runq.remove(thread)
+            if self.stw_active and self._stw_requester is thread:
+                raise SimulationError(
+                    f"thread {thread.name} exited with the world stopped"
+                )
+            return
+        if isinstance(item, (int, float)):
+            cycles = int(item)
+            if cycles < 0:
+                raise SimulationError(f"{thread.name} yielded negative cycles")
+            slot.time += cycles
+            thread.busy_cycles += cycles
+            thread._credit += cycles
+            if thread._credit >= slot.quantum:
+                self._rotate(thread)
+        elif isinstance(item, Sleep):
+            slot.runq.popleft()
+            thread.state = ThreadState.SLEEPING
+            thread.wake_floor = slot.time + item.cycles
+            thread._credit = 0
+            self._sleeping.append(thread)
+        elif isinstance(item, Block):
+            slot.runq.popleft()
+            thread.state = ThreadState.BLOCKED
+            thread._credit = 0
+            item.event.waiters.append(thread)
+        elif isinstance(item, StopWorld):
+            self._stop_world(thread)
+        elif isinstance(item, ResumeWorld):
+            self._resume_world(thread)
+        else:
+            raise SimulationError(
+                f"{thread.name} yielded unsupported item {item!r}"
+            )
+
+    def run_until_condition(self, condition: Callable[[], bool], max_steps: int = 10_000_000) -> int:
+        """Step the simulation until ``condition()`` holds (used to drain
+        an in-flight revocation epoch after the application exits)."""
+        for _ in range(max_steps):
+            if condition():
+                return self.current_time()
+            thread = self._pick()
+            if thread is None:
+                raise SimulationError("no runnable threads while draining")
+            self._step(thread)
+        raise SimulationError("run_until_condition exceeded max_steps")
+
+    def run(
+        self,
+        until: Iterable[Thread] | None = None,
+        max_steps: int = 500_000_000,
+    ) -> int:
+        """Run until every thread in ``until`` finishes (default: every
+        thread). Returns the final wall clock. Daemon-style threads that
+        never finish are simply abandoned when ``until`` is satisfied.
+        """
+        # With no explicit target set, "done" means every thread —
+        # including ones spawned while running — has finished.
+        targets = list(until) if until is not None else None
+        for _ in range(max_steps):
+            pending = self.threads if targets is None else targets
+            if all(t.state is ThreadState.FINISHED for t in pending):
+                return self.current_time()
+            thread = self._pick()
+            if thread is None:
+                unfinished = [t.name for t in pending if t.state is not ThreadState.FINISHED]
+                raise SimulationError(
+                    f"deadlock: no runnable or sleeping threads; waiting on {unfinished}"
+                )
+            self._step(thread)
+            self._steps += 1
+        raise SimulationError(f"exceeded max_steps={max_steps}")

@@ -1,0 +1,50 @@
+"""Architectural traps delivered by the simulated CPU.
+
+These derive from :class:`repro.errors.ArchitecturalTrap`: they are modelled
+control transfers into the kernel, raised by :mod:`repro.machine.cpu` and
+caught by the kernel layer, not programming errors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchitecturalTrap
+
+
+class LoadGenerationFault(ArchitecturalTrap):
+    """A tagged capability load hit a page whose PTE load-generation bit
+    disagrees with the core's CLG register (§4.1).
+
+    The Reloaded fault handler responds by sweeping the page on the
+    faulting thread and re-running the load (a self-healing load barrier,
+    §2.3 fn. 14).
+    """
+
+    def __init__(self, vpn: int, addr: int) -> None:
+        super().__init__(f"capability load generation fault: page {vpn} addr {addr:#x}")
+        self.vpn = vpn
+        self.addr = addr
+
+
+class CapStoreFault(ArchitecturalTrap):
+    """A tagged capability store targeted a page whose PTE forbids
+    capability stores (e.g. shared file mappings, §2.2.4 fn. 13)."""
+
+    def __init__(self, vpn: int, addr: int) -> None:
+        super().__init__(f"capability store fault: page {vpn} addr {addr:#x}")
+        self.vpn = vpn
+        self.addr = addr
+
+
+class PageFault(ArchitecturalTrap):
+    """An access touched an unmapped or guard page.
+
+    Under the reservation scheme (§6.2) a stale pointer into unmapped
+    address space faults here instead of aliasing a later mapping.
+    """
+
+    def __init__(self, vpn: int, addr: int, write: bool) -> None:
+        kind = "write" if write else "read"
+        super().__init__(f"page fault: {kind} of unmapped page {vpn} addr {addr:#x}")
+        self.vpn = vpn
+        self.addr = addr
+        self.write = write

@@ -1,0 +1,33 @@
+"""Workloads: SPEC CPU2006 INT surrogates, pgbench, gRPC QPS, and
+adversarial use-after-free scenarios."""
+
+from repro.workloads import spec
+from repro.workloads.adversarial import AttackReport, UafAttacker
+from repro.workloads.base import Workload
+from repro.workloads.churn import ChurnProfile, ChurnWorkload, SizeMix
+from repro.workloads.grpc_qps import GrpcQpsWorkload
+from repro.workloads.microbench import (
+    FragmentationStress,
+    PingPongAllocator,
+    PointerGraphTraversal,
+)
+from repro.workloads.pgbench import PgBenchWorkload
+from repro.workloads.trace import AllocationTrace, TraceWorkload, synthesize_trace
+
+__all__ = [
+    "AttackReport",
+    "ChurnProfile",
+    "ChurnWorkload",
+    "FragmentationStress",
+    "GrpcQpsWorkload",
+    "AllocationTrace",
+    "PgBenchWorkload",
+    "PingPongAllocator",
+    "PointerGraphTraversal",
+    "TraceWorkload",
+    "SizeMix",
+    "UafAttacker",
+    "Workload",
+    "spec",
+    "synthesize_trace",
+]

@@ -1,0 +1,134 @@
+"""Adversarial workloads: use-after-free attack scenarios.
+
+These drive the security property the whole system exists for (§2.2.2):
+**use-after-free may read stale data, but use-after-reallocation is
+impossible** — by the time freed memory is reused, every capability to it
+has been revoked (in memory, registers, and kernel hoards).
+
+:class:`UafAttacker` plays the attacker: it frees victims while *keeping*
+capabilities to them in as many places as it can (a heap slot, its
+register file, a kernel hoard), then churns the allocator so the freed
+addresses get reused, probing its stale capabilities every round. Whether
+a probed address has been handed to a new allocation is decided by an
+oracle peek at the allocator's live set (a measurement device, not part
+of the attack). The outcome is recorded rather than asserted, so tests
+check it per strategy:
+
+- under a safety-providing revoker, no stale capability is ever tagged
+  once its memory is live again (``uar_hits == 0``);
+- under the baseline or paint+sync, stale capabilities alias new
+  allocations (``uar_hits > 0``) — the gap revocation closes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.machine.capability import Capability
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulation import AppContext
+
+
+@dataclass
+class AttackReport:
+    """What the attacker managed to do."""
+
+    #: Stale dereferences of not-yet-reused memory (the tolerated UAF
+    #: window, §2.2.2).
+    uaf_reads: int = 0
+    #: Stale dereferences that aliased a *reallocated* object (UAR) —
+    #: must be zero under any safety-providing revoker.
+    uar_hits: int = 0
+    #: Probes that found the capability already revoked (untagged).
+    revoked_probes: int = 0
+    #: Which hoarding places still held tagged capabilities at UAR time.
+    stale_sources: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Victim:
+    base: int
+    heap_slot: Capability
+    register_index: int
+    hoard_ticket: int
+
+
+class UafAttacker(Workload):
+    """Free objects, hoard dangling pointers everywhere, try to use them
+    after the allocator reuses the memory."""
+
+    name = "uaf-attacker"
+
+    def __init__(self, rounds: int = 20, churn_objects: int = 100, seed: int = 3) -> None:
+        self.rounds = rounds
+        self.churn_objects = churn_objects
+        self.seed = seed
+        self.report = AttackReport()
+        #: A small quarantine floor so the attacker's churn actually
+        #: drives revocation epochs (and, under paint+sync, dequarantine
+        #: without sweeping — the reuse the attack needs).
+        self.quarantine_policy = QuarantinePolicy(min_bytes=16 << 10)
+
+    def run(self, ctx: "AppContext") -> Generator:
+        rng = random.Random(self.seed)
+        size = 256
+        report = self.report
+        pending: list[_Victim] = []
+        slot_objects: list[Capability] = []
+
+        for round_no in range(self.rounds):
+            # Create this round's victim and hoard pointers to it in a
+            # heap slot, a register, and a kernel subsystem (§4.4).
+            victim = yield from ctx.malloc(size)
+            stash_obj = yield from ctx.malloc(64)
+            slot_objects.append(stash_obj)
+            slot = stash_obj.with_address(stash_obj.base)
+            yield from ctx.store_cap(slot, victim)
+            reg = round_no % 8
+            ctx.registers.set(reg, victim)
+            ticket = ctx.stash_in_kernel("attack", victim)
+            yield from ctx.free(victim)
+            pending.append(_Victim(victim.base, slot, reg, ticket))
+
+            # Immediate UAF: stale pointers work until revocation runs.
+            probe = ctx.registers.get(reg)
+            if probe is not None and probe.tag:
+                yield from ctx.load_data(probe, 16)
+                report.uaf_reads += 1
+
+            # Churn same-size allocations to force reuse of freed space.
+            churned = []
+            for _ in range(self.churn_objects):
+                cap = yield from ctx.malloc(size)
+                churned.append(cap)
+
+            # Probe every pending victim from every hoarding place while
+            # the churn allocations (possibly occupying victims' former
+            # memory) are still live.
+            for v in pending:
+                reused = ctx.sim.alloc.is_live(v.base)  # oracle, not attack
+                heap_probe = yield from ctx.load_cap(v.heap_slot)
+                probes = [
+                    ("heap", heap_probe),
+                    ("register", ctx.registers.get(v.register_index)),
+                    ("kernel-hoard", ctx.retrieve_from_kernel("attack", v.hoard_ticket)),
+                ]
+                for source, cap in probes:
+                    if cap is None or not cap.tag or cap.base != v.base:
+                        report.revoked_probes += 1
+                        continue
+                    yield from ctx.load_data(cap.with_address(cap.base), 16)
+                    if reused:
+                        report.uar_hits += 1
+                        report.stale_sources.append(source)
+                    else:
+                        report.uaf_reads += 1
+
+            for cap in churned:
+                yield from ctx.free(cap)
+            yield 1000

@@ -1,0 +1,46 @@
+"""Workload interface.
+
+A workload is a deterministic (seeded) program written against the
+:class:`repro.core.simulation.AppContext` API — the simulated process's
+view of malloc/free, capability loads and stores, data accesses, compute,
+and idle time. The same workload object produces the same operation trace
+under every revocation strategy (the paper runs identical binaries under
+every condition, §5); only the architectural events differ.
+
+Single-threaded workloads implement :meth:`run`; multi-threaded ones
+override :meth:`thread_bodies` (gRPC QPS runs a two-thread server, §5.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.simulation import AppContext
+
+#: A named thread body: the simulation calls the factory with the thread's
+#: own AppContext and schedules the resulting generator.
+ThreadBody = Callable[["AppContext"], Generator]
+
+
+class Workload(abc.ABC):
+    """Base class for simulated programs."""
+
+    #: Short name used in results and figures.
+    name: str = "workload"
+    #: Scaled workloads recommend a quarantine policy whose 8 MiB floor is
+    #: scaled along with their heap; None means the paper defaults apply.
+    quarantine_policy = None
+
+    def thread_bodies(self) -> list[tuple[str, ThreadBody]]:
+        """(name, body) for each application thread. Default: one thread
+        running :meth:`run`."""
+        return [(self.name, self.run)]
+
+    def run(self, ctx: "AppContext") -> Generator:
+        """Single-threaded body; override this or :meth:`thread_bodies`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement run() or thread_bodies()"
+        )
+        yield  # pragma: no cover - makes this a generator if subclass calls super

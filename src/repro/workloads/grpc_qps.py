@@ -1,0 +1,156 @@
+"""gRPC QPS surrogate: the multi-threaded latency workload (§5.3).
+
+The paper's scenario: client and server are each one process with two
+threads; each client thread opens 10 channels with 4 outstanding messages
+(40 outstanding per client thread); the server is pinned to cores 2 and 3
+and the background revocation thread is deliberately *not* pinned, so it
+competes with the server for CPU (§5.3, §7.7). Throughput and latency
+percentiles are measured over a fixed duration.
+
+The surrogate runs two server threads, each a closed loop with a fixed
+number of outstanding requests: when a request completes, the next one is
+(virtually) already queued, so request latency is queueing plus service —
+a revocation stall on either server core inflates the latency of every
+queued request behind it, which is how stop-the-world pauses and the mrs
+back-pressure blow up the 99.9th percentile (§5.3's "transactions stalled
+across two revocation epochs").
+
+Requests also route capabilities through kernel hoards (asynchronous
+send machinery, §4.4), so the STW root scan has real kernel-side work.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Generator
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.machine.capability import Capability
+from repro.machine.costs import CYCLES_PER_SECOND
+from repro.workloads.base import Workload, ThreadBody
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulation import AppContext
+
+#: Paper-scale server heap (table 2: gRPC QPS mean alloc 340 MiB).
+PAPER_HEAP_BYTES = 340 << 20
+
+#: Outstanding messages per server thread (10 channels x 4 per channel,
+#: split across 2 threads -> 20 in flight each).
+OUTSTANDING_PER_THREAD = 20
+
+
+class GrpcQpsWorkload(Workload):
+    """Two-thread asynchronous request/response server."""
+
+    name = "grpc-qps"
+
+    def __init__(
+        self,
+        duration_seconds: float = 1.5,
+        scale: int = 32,
+        seed: int = 11,
+    ) -> None:
+        self.duration_cycles = int(duration_seconds * CYCLES_PER_SECOND)
+        self.scale = scale
+        self.seed = seed
+        self.heap_bytes = PAPER_HEAP_BYTES // scale
+        self.quarantine_policy = QuarantinePolicy(min_bytes=(8 << 20) // scale)
+        #: Message/arena buffer size.
+        self.object_bytes = 3 * 1024
+        #: Objects churned per request (serialization arenas, metadata).
+        self.churn_per_request = 2
+        #: Arena/channel pages capability-stored per request (message
+        #: assembly writes pointers throughout the serialization arenas;
+        #: see pgbench's store-burst rationale). Applied as MMU side
+        #: effects via AppContext.cap_activity.
+        self.touched_pages_per_request = max(16, 6400 // scale)
+        #: Median service compute per request (cycles; ~0.4 ms).
+        self.service_median_cycles = 1_000_000
+        self.service_sigma = 0.25
+        self.completed = 0
+        self.latencies_cycles: list[int] = []
+
+    def thread_bodies(self) -> list[tuple[str, ThreadBody]]:
+        return [
+            ("grpc-server-0", lambda ctx: self._serve(ctx, 0)),
+            ("grpc-server-1", lambda ctx: self._serve(ctx, 1)),
+        ]
+
+    def _serve(self, ctx: "AppContext", index: int) -> Generator:
+        rng = random.Random(self.seed + index)
+        rnd = rng.random
+        session: list[Capability] = []
+        slot_of: dict[int, Capability] = {}
+
+        def alloc_buffer() -> Generator:
+            cap = yield from ctx.malloc(self.object_bytes)
+            slot = cap.with_address(cap.base)
+            slot_of[cap.base] = slot
+            if session:
+                target = session[int(rnd() * len(session))]
+                yield ctx.core.store_cap(slot, target).cycles
+            session.append(cap)
+
+        # Each thread owns half the working set.
+        while len(session) * self.object_bytes < self.heap_bytes // 2:
+            yield from alloc_buffer()
+
+        # This thread's view of the resident pages, for the store bursts.
+        resident_ptes = [
+            p for p in ctx.sim.machine.pagetable.mapped_pages() if not p.guard
+        ]
+
+        deadline = ctx.now() + self.duration_cycles
+        # Closed loop: completion timestamps of the last OUTSTANDING
+        # requests; a new request was enqueued the moment slot i-C freed.
+        ring: list[int] = [ctx.now()] * OUTSTANDING_PER_THREAD
+        i = 0
+        hoard_tickets: list[int] = []
+
+        while ctx.now() < deadline:
+            enqueue = ring[i % OUTSTANDING_PER_THREAD]
+
+            # Service: churn buffers, touch payloads, async bookkeeping.
+            for _ in range(self.churn_per_request):
+                victim = session.pop(int(rnd() * len(session)))
+                slot_of.pop(victim.base, None)
+                yield from ctx.free(victim)
+                yield from alloc_buffer()
+
+            cycles = 0
+            for _ in range(4):
+                holder = session[int(rnd() * len(session))]
+                loaded, c = ctx.load_cap_inline(slot_of[holder.base])
+                cycles += c
+                if loaded is not None and loaded.tag:
+                    cycles += ctx.core.load_data(loaded, 512).cycles
+            yield cycles
+
+            # Message assembly: the store burst across the arenas (cycle
+            # cost inside the service compute; MMU effects here).
+            window = self.touched_pages_per_request
+            if resident_ptes:
+                start = int(rnd() * max(1, len(resident_ptes) - window))
+                yield ctx.cap_activity(resident_ptes[start : start + window])
+
+            # Asynchronous completion queue: park a response capability in
+            # the kernel (aio/kqueue-style hoard, §4.4) and retire an old one.
+            ticket = ctx.stash_in_kernel(f"grpc-cq-{index}", session[-1])
+            hoard_tickets.append(ticket)
+            if len(hoard_tickets) > 64:
+                ctx.retrieve_from_kernel(f"grpc-cq-{index}", hoard_tickets.pop(0))
+
+            yield int(rng.lognormvariate(0.0, self.service_sigma) * self.service_median_cycles)
+
+            done = ctx.now()
+            latency = done - enqueue
+            ctx.record_latency(f"rpc{index}", enqueue, done)
+            self.latencies_cycles.append(latency)
+            ring[i % OUTSTANDING_PER_THREAD] = done
+            i += 1
+            self.completed += 1
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.completed / (self.duration_cycles / CYCLES_PER_SECOND)

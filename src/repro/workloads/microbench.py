@@ -1,0 +1,125 @@
+"""Targeted microbenchmarks: isolate single mechanisms.
+
+Where the SPEC surrogates and server workloads exercise whole systems,
+these minimal programs each stress exactly one code path, for unit-level
+performance work and for teaching:
+
+- :class:`PingPongAllocator` — malloc/free of one size in a tight loop:
+  the quarantine and trigger machinery with no other traffic at all;
+- :class:`PointerGraphTraversal` — build a linked structure once, then
+  only *load* capabilities: the pure load-barrier path (every epoch makes
+  the whole graph fault-visible to Reloaded, and costs the others
+  nothing);
+- :class:`FragmentationStress` — interleave sizes so freed memory can
+  rarely be reused in place: address-space growth under quarantine (the
+  fig. 3 mechanism in isolation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Generator
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.machine.capability import Capability
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulation import AppContext
+
+
+class PingPongAllocator(Workload):
+    """malloc/free of one object, repeated: pure allocator/shim cost."""
+
+    name = "micro-pingpong"
+
+    def __init__(self, iterations: int = 2000, size: int = 256,
+                 min_quarantine: int = 8 << 10) -> None:
+        self.iterations = iterations
+        self.size = size
+        self.quarantine_policy = QuarantinePolicy(min_bytes=min_quarantine)
+
+    def run(self, ctx: "AppContext") -> Generator:
+        for _ in range(self.iterations):
+            cap = yield from ctx.malloc(self.size)
+            yield from ctx.free(cap)
+
+
+class PointerGraphTraversal(Workload):
+    """A static capability graph, traversed by loads only.
+
+    Under Reloaded every revocation epoch invalidates the TLB view of the
+    whole graph: the traversal takes one fault per page per epoch. Under
+    CHERIvoke/Cornucopia, traversal is free but a side churner (needed to
+    trigger epochs at all) eats pauses. The ``faults_observed`` field
+    reports what the barrier cost."""
+
+    name = "micro-graph"
+
+    def __init__(self, nodes: int = 512, rounds: int = 200, seed: int = 3,
+                 churn_per_round: int = 2) -> None:
+        self.nodes = nodes
+        self.rounds = rounds
+        self.seed = seed
+        self.churn_per_round = churn_per_round
+        self.quarantine_policy = QuarantinePolicy(min_bytes=8 << 10)
+        self.loads = 0
+
+    def run(self, ctx: "AppContext") -> Generator:
+        rng = random.Random(self.seed)
+        node_size = 64
+        nodes: list[Capability] = []
+        for _ in range(self.nodes):
+            cap = yield from ctx.malloc(node_size)
+            nodes.append(cap)
+        # Wire a random successor into each node's first slot.
+        cycles = 0
+        for cap in nodes:
+            succ = nodes[int(rng.random() * len(nodes))]
+            cycles += ctx.core.store_cap(cap.with_address(cap.base), succ).cycles
+        yield cycles
+
+        slots = [cap.with_address(cap.base) for cap in nodes]
+        for _ in range(self.rounds):
+            # Chase a chain of pointers through the graph.
+            cursor = slots[int(rng.random() * len(slots))]
+            cycles = 0
+            for _ in range(32):
+                loaded, c = ctx.load_cap_inline(cursor)
+                cycles += c
+                self.loads += 1
+                if loaded is None or not loaded.tag:
+                    break
+                cursor = loaded.with_address(loaded.base)
+            yield cycles + 2_000
+            # Side churn so revocation epochs actually happen.
+            for _ in range(self.churn_per_round):
+                cap = yield from ctx.malloc(256)
+                yield from ctx.free(cap)
+
+
+class FragmentationStress(Workload):
+    """Interleaved sizes defeat in-place reuse; quarantine amplifies the
+    footprint growth that results."""
+
+    name = "micro-frag"
+
+    def __init__(self, iterations: int = 800, seed: int = 9) -> None:
+        self.iterations = iterations
+        self.seed = seed
+        self.quarantine_policy = QuarantinePolicy(min_bytes=16 << 10)
+
+    def run(self, ctx: "AppContext") -> Generator:
+        rng = random.Random(self.seed)
+        survivors: list[Capability] = []
+        for i in range(self.iterations):
+            # Allocate a pair of different classes; free one immediately,
+            # keep the other pinned so its slab can never empty.
+            a = yield from ctx.malloc(96)
+            b = yield from ctx.malloc(1024 if i % 2 else 48)
+            yield from ctx.free(a)
+            if len(survivors) < 256:
+                survivors.append(b)
+            else:
+                yield from ctx.free(b)
+            yield 500

@@ -1,0 +1,230 @@
+"""pgbench surrogate: the paper's interactive workload (§5.2).
+
+A PostgreSQL server process runs pure-capability with the revocation shim;
+the pgbench client drives serial transactions against it. What the
+evaluation measures is the *server-side* picture: per-transaction
+latencies (fig. 7's CDF, table 1's percentiles), wall/CPU overheads
+(fig. 5), and bus traffic (fig. 6).
+
+The surrogate models one server thread whose address space has two parts:
+
+- a **session heap** of tuple/row buffers churned by transactions: 24
+  buffers allocated and freed per transaction (the paper's pgbench frees
+  ~340 KiB per transaction against a 23 MiB heap — a 2500:1
+  freed-to-allocated ratio, table 2);
+- a **shared-buffers region**: the capability-dense resident set
+  (PostgreSQL's buffer pool, catalog caches, autovacuum state) that every
+  sweep must visit even though the session heap is small — this is why
+  the paper's pgbench RSS is dominated by non-worker memory (§5.2) and
+  why its stop-the-world sweeps take tens of milliseconds.
+
+Each transaction also performs a **capability store burst** across a
+window of the resident set (buffer headers, LRU lists, and index pages
+are pointer-dense and updated constantly). The burst's cycle cost lives
+inside the transaction's compute block; its MMU side effects
+(capability-dirty and re-dirty bits, §4.2) are applied via
+:meth:`AppContext.cap_activity`. This store rate is what differentiates
+the strategies: pages stored-to during Cornucopia's concurrent phase must
+be re-swept with the world stopped, while Reloaded never revisits
+(§5.2's fig. 6 discussion).
+
+Between transactions the server idles (client round trip), so the process
+is not CPU bound — the idle windows that let pauses "hide" (§5.2) exist.
+In *rate* mode (table 1), transactions start on an a-priori schedule and
+latency excludes schedule lag; the default serial mode is subject to
+coordinated omission, exactly as the paper notes [49].
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Generator
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.machine.capability import Capability
+from repro.machine.costs import CYCLES_PER_SECOND, GRANULE_BYTES, PAGE_BYTES
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulation import AppContext
+
+#: Paper-scale session heap (table 2: mean 23 MiB allocated for pgbench).
+PAPER_HEAP_BYTES = 23 << 20
+
+#: Paper-scale shared-buffers-like resident set the sweep must cover.
+PAPER_SHARED_BYTES = 32 << 20
+
+#: Default transaction count (the paper runs 170,000; the default here is
+#: sized for a few-minute simulation — pass transactions=... for more).
+DEFAULT_TRANSACTIONS = 4000
+
+
+class PgBenchWorkload(Workload):
+    """Serial (or rate-scheduled) transaction processing."""
+
+    name = "pgbench"
+
+    def __init__(
+        self,
+        transactions: int = DEFAULT_TRANSACTIONS,
+        rate_tps: float | None = None,
+        scale: int = 2,
+        seed: int = 7,
+    ) -> None:
+        """``rate_tps``: transactions per second for --rate mode (table 1);
+        None runs serially (unscheduled)."""
+        self.transactions = transactions
+        self.rate_tps = rate_tps
+        self.scale = scale
+        self.seed = seed
+        self.heap_bytes = PAPER_HEAP_BYTES // scale
+        self.shared_bytes = PAPER_SHARED_BYTES // scale
+        #: High-rate revocation regime (table 2: pgbench revokes ~26x more
+        #: often per freed byte than SPEC): the floor scales harder than
+        #: the heap so epochs run every handful of transactions.
+        self.quarantine_policy = QuarantinePolicy(min_bytes=(2 << 20) // scale)
+        #: Tuple buffer size (rows, index nodes); granule multiple. At
+        #: aggressive scales the buffers shrink with the heap so the
+        #: session still holds a realistic object population.
+        self.object_bytes = 7 * 1024 if scale <= 4 else max(64, (7 * 1024 * 2) // scale)
+        #: Buffers churned per transaction (~170 KiB/tx at scale 2,
+        #: mirroring the paper's ~340 KiB/tx at full size).
+        self.churn_per_tx = 24
+        #: Resident pages capability-stored per transaction (the burst).
+        self.touched_pages_per_tx = 4500 // max(1, scale // 2)
+        #: Baseline busy time: lognormal with this median (cycles; ~2.8 ms).
+        self.busy_median_cycles = 7_000_000
+        self.busy_sigma = 0.22
+        #: Fraction of transactions hitting a slow path (vacuum interplay,
+        #: cold caches) and its multiplier — the baseline's own long tail.
+        self.slow_fraction = 0.002
+        self.slow_multiplier = 8.0
+        #: Mean idle (client round-trip + think) between transactions,
+        #: exponential (~3 ms; server on-core roughly half of wall, §5.2).
+        self.idle_mean_cycles = 3_000_000
+        self.completed = 0
+
+    # --- The server loop --------------------------------------------------------
+
+    def run(self, ctx: "AppContext") -> Generator:
+        rng = random.Random(self.seed)
+        rnd = rng.random
+        session: list[Capability] = []
+        slots_of: dict[int, tuple[Capability, ...]] = {}
+
+        def alloc_buffer() -> Generator:
+            cap = yield from ctx.malloc(self.object_bytes)
+            slots = tuple(
+                cap.with_address(cap.base + i * GRANULE_BYTES) for i in range(2)
+            )
+            slots_of[cap.base] = slots
+            cycles = 0
+            if session:
+                target = session[int(rnd() * len(session))]
+                cycles += ctx.core.store_cap(slots[0], target).cycles
+            if cycles:
+                yield cycles
+            session.append(cap)
+
+        # Shared buffers: one long-lived capability-dense region, mapped
+        # directly (PostgreSQL's buffer pool is shared memory, not malloc
+        # heap, so it does not count toward the mrs quarantine policy).
+        # One capability per page makes every page capability-dirty
+        # forever (§4.5: pages never become clean again).
+        shared_cap, _ = ctx.sim.kernel.address_space.mmap(self.shared_bytes)
+        yield ctx.sim.machine.costs.malloc_slow_extra
+        shared_pages = self.shared_bytes // PAGE_BYTES
+        cycles = 0
+        for vpn_off in range(shared_pages):
+            dst = shared_cap.with_address(shared_cap.base + vpn_off * PAGE_BYTES)
+            cycles += ctx.core.store_cap(dst, shared_cap).cycles
+            if cycles > 100_000:
+                yield cycles
+                cycles = 0
+        if cycles:
+            yield cycles
+
+        # Warm the session heap (the paper discards a warmup run).
+        while len(session) * self.object_bytes < self.heap_bytes:
+            yield from alloc_buffer()
+
+        # Resident PTEs for the store bursts (contiguous bump layout).
+        resident_ptes = [
+            p for p in ctx.sim.machine.pagetable.mapped_pages() if not p.guard
+        ]
+
+        interval = None
+        if self.rate_tps is not None:
+            interval = int(CYCLES_PER_SECOND / self.rate_tps)
+        next_start = ctx.now()
+
+        for _ in range(self.transactions):
+            if interval is not None:
+                # Scheduled arrivals: wait for the schedule; latency below
+                # ignores schedule lag (table 1's methodology).
+                now = ctx.now()
+                if now < next_start:
+                    yield from ctx.idle(next_start - now)
+                next_start += interval
+            begin = ctx.now()
+
+            # Transaction body: churn tuple buffers.
+            for _ in range(self.churn_per_tx):
+                victim_idx = int(rnd() * len(session))
+                victim = session.pop(victim_idx)
+                slots_of.pop(victim.base, None)
+                yield from ctx.free(victim)
+                yield from alloc_buffer()
+
+            # Pointer chases: session slots and shared buffer headers
+            # (these are the loads Reloaded's barrier intercepts).
+            cycles = 0
+            for _ in range(8):
+                holder = session[int(rnd() * len(session))]
+                slots = slots_of[holder.base]
+                loaded, c = ctx.load_cap_inline(slots[0])
+                cycles += c
+                off_frac = rnd()  # drawn unconditionally: trace parity
+                if loaded is not None and loaded.tag:
+                    nbytes = min(256, loaded.length)
+                    off = int(off_frac * max(1, loaded.length - nbytes))
+                    cycles += ctx.core.load_data(
+                        loaded.with_address(loaded.base + off), nbytes
+                    ).cycles
+            for _ in range(2):
+                page = int(rnd() * shared_pages)
+                src = shared_cap.with_address(shared_cap.base + page * PAGE_BYTES)
+                loaded, c = ctx.load_cap_inline(src)
+                cycles += c
+            yield cycles
+
+            # The store burst over a window of the resident set: cycle
+            # cost is inside the compute block below; MMU dirty-tracking
+            # side effects are applied here (§4.2).
+            window = self.touched_pages_per_tx
+            if window and resident_ptes:
+                start = int(rnd() * max(1, len(resident_ptes) - window))
+                yield ctx.cap_activity(resident_ptes[start : start + window])
+
+            busy = rng.lognormvariate(0.0, self.busy_sigma) * self.busy_median_cycles
+            if rnd() < self.slow_fraction:
+                busy *= self.slow_multiplier
+            yield int(busy)
+
+            end = ctx.now()
+            ctx.record_latency("tx", begin, end)
+            self.completed += 1
+
+            if interval is None:
+                # Serial mode: client round trip before the next request.
+                yield from ctx.idle(int(rng.expovariate(1.0) * self.idle_mean_cycles))
+
+
+def workload(
+    transactions: int = DEFAULT_TRANSACTIONS,
+    rate_tps: float | None = None,
+    scale: int = 2,
+    seed: int = 7,
+) -> PgBenchWorkload:
+    """Convenience constructor mirroring :func:`repro.workloads.spec.workload`."""
+    return PgBenchWorkload(transactions, rate_tps, scale, seed)

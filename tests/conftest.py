@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.snmalloc import SnMalloc
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A small 4-core machine (16 MiB), enough for unit tests."""
+    return Machine(memory_bytes=16 << 20)
+
+
+@pytest.fixture
+def kernel(machine: Machine) -> Kernel:
+    return Kernel(machine)
+
+
+@pytest.fixture
+def alloc(kernel: Kernel) -> SnMalloc:
+    return SnMalloc(kernel)

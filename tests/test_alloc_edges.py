@@ -1,0 +1,142 @@
+"""Edge cases across the allocation stack the main suites don't cover:
+slab growth boundaries, size-class extremes, mrs sealing timing, shadow
+traffic charging."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import pytest
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.alloc.snmalloc import CHUNK_BYTES, LARGE_THRESHOLD, SIZE_CLASSES, SnMalloc
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.simulation import Simulation
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine
+from repro.workloads.base import Workload
+
+
+@pytest.fixture
+def alloc() -> SnMalloc:
+    return SnMalloc(Kernel(Machine(memory_bytes=64 << 20)))
+
+
+class TestSlabBoundaries:
+    def test_slab_exhaustion_grows_new_chunk(self, alloc):
+        size = SIZE_CLASSES[-1]  # 32 KiB: two per chunk
+        per_chunk = CHUNK_BYTES // size
+        chunks_before = len(alloc._chunks)
+        for _ in range(per_chunk + 1):
+            alloc.malloc(size)
+        assert len(alloc._chunks) > chunks_before
+
+    def test_each_class_has_independent_slabs(self, alloc):
+        a, _ = alloc.malloc(16)
+        b, _ = alloc.malloc(32768)
+        # Different classes bump from different slabs (different chunks
+        # once the first class has claimed one).
+        assert a.base != b.base
+
+    def test_threshold_boundary(self, alloc):
+        at, _ = alloc.malloc(LARGE_THRESHOLD)
+        over, _ = alloc.malloc(LARGE_THRESHOLD + 1)
+        assert at.length == SIZE_CLASSES[-1]
+        assert over.length >= LARGE_THRESHOLD + 1
+
+    def test_sixteen_byte_min(self, alloc):
+        cap, _ = alloc.malloc(1)
+        assert cap.length == 16
+
+    def test_free_list_lifo_reuse(self, alloc):
+        caps = [alloc.malloc(64)[0] for _ in range(3)]
+        regions = [alloc.free(c)[0] for c in caps]
+        for r in regions:
+            alloc.release(r)
+        # LIFO: the most recently released address comes back first.
+        again, _ = alloc.malloc(64)
+        assert again.base == regions[-1].addr
+
+
+class ScriptedWorkload(Workload):
+    name = "alloc-edges"
+
+    def __init__(self, fn, policy=None):
+        self._fn = fn
+        self.quarantine_policy = policy
+        self.out: dict = {}
+
+    def run(self, ctx) -> Generator:
+        yield from self._fn(ctx, self.out)
+
+
+class TestMrsEdges:
+    def test_seal_happens_at_idle_epoch(self):
+        """The controller seals right before revoking, so every batch
+        observes an even (idle) counter and releases after exactly one
+        epoch — mrs's double-buffering never deadlocks."""
+        def body(ctx, out):
+            for _ in range(60):
+                cap = yield from ctx.malloc(1024)
+                yield from ctx.free(cap)
+
+        w = ScriptedWorkload(body, QuarantinePolicy(min_bytes=8 << 10))
+        sim = Simulation(w, SimulationConfig(revoker=RevokerKind.RELOADED))
+        sim.run()
+        assert sim.kernel.epoch.completed >= 2
+        # Nothing sealed remains after the drain: every batch released.
+        assert sim.mrs.quarantine.sealed == []
+
+    def test_paint_charges_shadow_traffic(self):
+        """Painting on free shows up as application-core bus traffic."""
+        def body(ctx, out):
+            caps = []
+            for _ in range(32):
+                caps.append((yield from ctx.malloc(4096)))
+            out["before"] = ctx.sim.machine.bus.transactions("core3")
+            for cap in caps:
+                yield from ctx.free(cap)
+            out["after"] = ctx.sim.machine.bus.transactions("core3")
+
+        w = ScriptedWorkload(body, QuarantinePolicy(min_bytes=1 << 20))
+        sim = Simulation(w, SimulationConfig(revoker=RevokerKind.RELOADED))
+        sim.run()
+        assert w.out["after"] > w.out["before"]
+
+    def test_trigger_fires_once_per_batch(self):
+        """A burst of frees far over the limit produces a single pending
+        trigger, not one per free."""
+        def body(ctx, out):
+            caps = []
+            for _ in range(50):
+                caps.append((yield from ctx.malloc(2048)))
+            for cap in caps:
+                yield from ctx.free(cap)
+            out["triggered"] = ctx.sim.mrs.revocations_triggered
+
+        w = ScriptedWorkload(body, QuarantinePolicy(min_bytes=4 << 10))
+        sim = Simulation(w, SimulationConfig(revoker=RevokerKind.RELOADED))
+        sim.run()
+        # Far fewer triggers than frees: the pending flag coalesces them.
+        assert 1 <= w.out["triggered"] < 50
+
+    def test_epoch_event_signaled_on_transitions(self):
+        """Waiters on the epoch event observe both begin and end."""
+        observed = []
+
+        def body(ctx, out):
+            from repro.machine.scheduler import Block
+
+            epoch = ctx.sim.kernel.epoch
+            for _ in range(40):
+                cap = yield from ctx.malloc(2048)
+                yield from ctx.free(cap)
+            while epoch.completed < 1:
+                observed.append(epoch.read())
+                yield Block(epoch.changed)
+            observed.append(epoch.read())
+
+        w = ScriptedWorkload(body, QuarantinePolicy(min_bytes=8 << 10))
+        sim = Simulation(w, SimulationConfig(revoker=RevokerKind.RELOADED))
+        sim.run()
+        assert observed[-1] >= 2

@@ -1,0 +1,149 @@
+"""Unit and property tests for the statistics and rendering helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    BoxStats,
+    cdf,
+    geomean,
+    geomean_overhead,
+    mean,
+    median,
+    percentile,
+    percentiles,
+    stddev,
+)
+from repro.analysis.tables import bar_chart, format_percent, format_series, format_table
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_odd(self):
+        assert percentile([1, 3, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+    def test_matches_numpy_linear(self):
+        import numpy as np
+
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for p in (10, 25, 50, 75, 90, 99):
+            assert percentile(data, p) == pytest.approx(np.percentile(data, p))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=50))
+    def test_bounded_by_min_max(self, data):
+        for p in (0, 25, 50, 75, 100):
+            v = percentile(data, p)
+            assert min(data) <= v <= max(data)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=30))
+    def test_monotone_in_p(self, data):
+        ps = [0, 10, 50, 90, 100]
+        values = [percentile(data, p) for p in ps]
+        assert values == sorted(values)
+
+    def test_percentiles_dict(self):
+        out = percentiles([1, 2, 3], [50, 100])
+        assert out == {50: 2, 100: 3}
+
+
+class TestAggregates:
+    def test_geomean_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_overhead_roundtrip(self):
+        # +10% and +10% overheads geomean to +10%.
+        assert geomean_overhead([0.1, 0.1]) == pytest.approx(0.1)
+
+    def test_mean_and_median(self):
+        assert mean([1, 2, 3]) == 2
+        assert median([1, 2, 100]) == 2
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+        assert stddev([5]) == 0.0
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=20))
+    def test_geomean_between_min_max(self, data):
+        g = geomean(data)
+        assert min(data) - 1e-9 <= g <= max(data) + 1e-9
+
+
+class TestCdf:
+    def test_full_resolution_when_small(self):
+        points = cdf([1, 2, 3])
+        assert [p.value for p in points] == [1, 2, 3]
+        assert points[-1].fraction == 1.0
+
+    def test_downsampled_when_large(self):
+        points = cdf(list(range(1000)), points=100)
+        assert len(points) == 100
+        assert points[-1].fraction == 1.0
+        fractions = [p.fraction for p in points]
+        assert fractions == sorted(fractions)
+
+    def test_empty(self):
+        assert cdf([]) == []
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        box = BoxStats.of([1, 2, 3, 4, 5])
+        assert box.minimum == 1 and box.maximum == 5
+        assert box.median == 3
+        assert box.q1 == 2 and box.q3 == 4
+        assert box.mean == 3
+
+
+class TestRendering:
+    def test_format_table_aligns(self):
+        out = format_table(["name", "v"], [["a", 1.5], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines[1:])) >= 1
+        assert "long-name" in out
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_format_percent(self):
+        assert format_percent(0.294) == "+29.4%"
+        assert format_percent(-0.05) == "-5.0%"
+
+    def test_format_series(self):
+        out = format_series("fig", [("a", 1.0), ("b", 2.0)], unit="x")
+        assert out == "fig: a=1.000x  b=2.000x"
+
+    def test_bar_chart(self):
+        out = bar_chart([("a", 1.0), ("bb", 0.5)])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([]) == "(empty)"

@@ -1,0 +1,121 @@
+"""Unit tests for the cache and bus traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.cache import Bus, Cache
+from repro.machine.costs import LINES_PER_PAGE
+
+
+@pytest.fixture
+def bus() -> Bus:
+    return Bus()
+
+
+@pytest.fixture
+def cache(bus: Bus) -> Cache:
+    return Cache(bus, "core0", capacity_bytes=1024)  # 16 lines
+
+
+class TestCacheBasics:
+    def test_first_access_misses(self, cache):
+        assert cache.access(0x1000) is True
+        assert cache.misses == 1
+
+    def test_second_access_hits(self, cache):
+        cache.access(0x1000)
+        assert cache.access(0x1000) is False
+        assert cache.hits == 1
+
+    def test_same_line_different_bytes_hit(self, cache):
+        cache.access(0x1000)
+        assert cache.access(0x103F) is False
+
+    def test_adjacent_line_misses(self, cache):
+        cache.access(0x1000)
+        assert cache.access(0x1040) is True
+
+    def test_miss_counts_bus_read(self, cache, bus):
+        cache.access(0x1000)
+        assert bus.transactions("core0") == 1
+
+    def test_too_small_capacity_rejected(self, bus):
+        with pytest.raises(ValueError):
+            Cache(bus, "x", capacity_bytes=32)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self, cache):
+        for i in range(16):
+            cache.access(i * 64)
+        cache.access(16 * 64)  # evicts line 0
+        assert cache.access(0) is True  # line 0 gone
+        assert cache.resident_lines == 16
+
+    def test_touch_refreshes_lru_position(self, cache):
+        for i in range(16):
+            cache.access(i * 64)
+        cache.access(0)  # refresh line 0
+        cache.access(16 * 64)  # evicts line 1, not 0
+        assert cache.access(0) is False
+        assert cache.access(64) is True
+
+    def test_dirty_eviction_writes_back(self, cache, bus):
+        cache.access(0, write=True)
+        for i in range(1, 17):
+            cache.access(i * 64)
+        assert bus.counters["core0"].writes == 1
+
+    def test_clean_eviction_no_writeback(self, cache, bus):
+        for i in range(17):
+            cache.access(i * 64)
+        assert bus.counters["core0"].writes == 0
+
+
+class TestRangeAndPage:
+    def test_access_range_counts_lines(self, cache):
+        misses = cache.access_range(0x1000, 256)
+        assert misses == 4
+
+    def test_access_range_partial_lines(self, cache):
+        # 2 bytes straddling a line boundary touch two lines.
+        assert cache.access_range(0x103F, 2) == 2
+
+    def test_access_range_zero_noop(self, cache):
+        assert cache.access_range(0x1000, 0) == 0
+
+    def test_access_page_streams_all_lines(self, bus):
+        cache = Cache(bus, "c", capacity_bytes=1 << 20)
+        assert cache.access_page(5) == LINES_PER_PAGE
+        assert cache.access_page(5) == 0  # now resident
+
+    def test_invalidate_page(self, bus):
+        cache = Cache(bus, "c", capacity_bytes=1 << 20)
+        cache.access_page(5)
+        cache.invalidate_page(5)
+        assert cache.access_page(5) == LINES_PER_PAGE
+
+    def test_miss_rate(self, cache):
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+
+class TestBus:
+    def test_per_source_accounting(self, bus):
+        bus.read("a", 3)
+        bus.write("b", 2)
+        assert bus.transactions("a") == 3
+        assert bus.transactions("b") == 2
+        assert bus.total_transactions() == 5
+        assert bus.snapshot() == {"a": 3, "b": 2}
+
+    def test_sweep_flag_nesting(self, bus):
+        assert not bus.sweep_active
+        bus.sweep_begin()
+        bus.sweep_begin()
+        bus.sweep_end()
+        assert bus.sweep_active
+        bus.sweep_end()
+        assert not bus.sweep_active

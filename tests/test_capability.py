@@ -1,0 +1,191 @@
+"""Unit and property tests for the CHERI capability value type."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CapabilityError
+from repro.machine.capability import (
+    Capability,
+    MANTISSA_BITS,
+    Perm,
+    representable_alignment,
+    representable_length,
+)
+
+
+def cap(base=0x1000, length=0x100, perms=None) -> Capability:
+    return Capability.root(base, length, perms)
+
+
+class TestConstruction:
+    def test_root_spans_requested_region(self):
+        c = cap(0x4000, 0x200)
+        assert c.base == 0x4000
+        assert c.top == 0x4200
+        assert c.address == 0x4000
+        assert c.tag
+
+    def test_root_defaults_to_all_permissions(self):
+        assert cap().perms == Perm.all()
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(CapabilityError):
+            Capability(base=-1, length=16, address=0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CapabilityError):
+            Capability(base=0, length=-16, address=0)
+
+
+class TestMonotonicDerivation:
+    def test_derive_narrows_bounds(self):
+        c = cap(0x1000, 0x1000)
+        d = c.derive(0x1100, 0x100)
+        assert d.base == 0x1100
+        assert d.top == 0x1200
+        assert d.tag
+
+    def test_derive_full_range_allowed(self):
+        c = cap(0x1000, 0x100)
+        d = c.derive(0x1000, 0x100)
+        assert (d.base, d.length) == (c.base, c.length)
+
+    def test_derive_cannot_widen_below(self):
+        with pytest.raises(CapabilityError):
+            cap(0x1000, 0x100).derive(0xF00, 0x100)
+
+    def test_derive_cannot_widen_above(self):
+        with pytest.raises(CapabilityError):
+            cap(0x1000, 0x100).derive(0x1080, 0x100)
+
+    def test_derive_cannot_add_permissions(self):
+        c = cap(perms=Perm.LOAD)
+        with pytest.raises(CapabilityError):
+            c.derive(c.base, c.length, Perm.LOAD | Perm.STORE)
+
+    def test_derive_can_drop_permissions(self):
+        c = cap()
+        d = c.derive(c.base, 16, Perm.LOAD)
+        assert d.perms == Perm.LOAD
+
+    def test_derive_from_untagged_rejected(self):
+        dead = cap().cleared()
+        with pytest.raises(CapabilityError):
+            dead.derive(dead.base, 16)
+
+    @given(
+        base=st.integers(0, 1 << 30),
+        length=st.integers(16, 1 << 20),
+        off=st.integers(0, 1 << 20),
+        sub=st.integers(1, 1 << 20),
+    )
+    def test_derivation_monotonicity_property(self, base, length, off, sub):
+        """Any successful derivation's bounds lie within the parent's."""
+        parent = Capability.root(base, length)
+        try:
+            child = parent.derive(base + off, sub)
+        except CapabilityError:
+            assert off + sub > length  # rejected exactly when it would widen
+        else:
+            assert child.base >= parent.base
+            assert child.top <= parent.top
+
+
+class TestCursorAndRepresentability:
+    def test_with_address_in_bounds_keeps_tag(self):
+        c = cap(0x1000, 0x100).with_address(0x1080)
+        assert c.tag and c.address == 0x1080
+
+    def test_with_address_at_top_keeps_tag(self):
+        # One-past-the-end pointers are valid C and representable.
+        assert cap(0x1000, 0x100).with_address(0x1100).tag
+
+    def test_slightly_out_of_bounds_keeps_tag(self):
+        # CHERI tolerates small out-of-bounds excursions (representable).
+        assert cap(0x1000, 0x100).with_address(0x1140).tag
+
+    def test_far_out_of_bounds_clears_tag(self):
+        c = cap(0x100000, 0x100).with_address(0x500000)
+        assert not c.tag
+
+    def test_base_is_revocation_probe_target(self):
+        c = cap(0x2000, 0x100).with_address(0x2050)
+        assert c.revocation_probe_address == 0x2000
+
+    @given(st.integers(0, 1 << 24))
+    def test_cursor_moves_never_move_base(self, addr):
+        c = cap(0x8000, 0x1000).with_address(addr)
+        assert c.base == 0x8000
+
+    def test_cleared_capability_stays_cleared_through_moves(self):
+        dead = cap().cleared()
+        assert not dead.with_address(dead.base).tag
+
+
+class TestRepresentableLength:
+    def test_small_lengths_exact(self):
+        for length in (0, 1, 16, 4096, (1 << MANTISSA_BITS) - 1):
+            assert representable_length(length) == length
+
+    def test_large_lengths_rounded_up(self):
+        length = (1 << MANTISSA_BITS) + 1
+        assert representable_length(length) >= length
+
+    def test_alignment_is_power_of_two(self):
+        for length in (1 << 14, 1 << 20, (1 << 20) + 12345):
+            align = representable_alignment(length)
+            assert align & (align - 1) == 0
+
+    @given(st.integers(0, 1 << 30))
+    def test_representable_length_idempotent(self, length):
+        r = representable_length(length)
+        assert representable_length(r) == r
+        assert r >= length
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CapabilityError):
+            representable_alignment(-1)
+
+
+class TestDereferenceChecks:
+    def test_valid_access_passes(self):
+        cap(0x1000, 0x100).check_dereference(16, Perm.LOAD)
+
+    def test_untagged_rejected(self):
+        with pytest.raises(CapabilityError):
+            cap().cleared().check_dereference(1, Perm.LOAD)
+
+    def test_out_of_bounds_rejected(self):
+        c = cap(0x1000, 0x10)
+        with pytest.raises(CapabilityError):
+            c.with_address(0x100C).check_dereference(8, Perm.LOAD)
+
+    def test_access_spanning_top_rejected(self):
+        c = cap(0x1000, 0x100).with_address(0x10F8)
+        with pytest.raises(CapabilityError):
+            c.check_dereference(16, Perm.LOAD)
+
+    def test_missing_permission_rejected(self):
+        c = cap(perms=Perm.LOAD)
+        with pytest.raises(CapabilityError):
+            c.check_dereference(1, Perm.STORE)
+
+    def test_int_permission_mask_accepted(self):
+        cap().check_dereference(16, Perm.LOAD.value | Perm.LOAD_CAP.value)
+
+    @given(
+        length=st.integers(16, 4096),
+        addr_off=st.integers(-64, 4160),
+        nbytes=st.integers(1, 64),
+    )
+    def test_bounds_check_property(self, length, addr_off, nbytes):
+        """check_dereference accepts exactly in-bounds accesses."""
+        c = Capability.root(0x10000, length).with_address(0x10000 + addr_off)
+        in_bounds = 0 <= addr_off and addr_off + nbytes <= length
+        if in_bounds:
+            c.check_dereference(nbytes, Perm.LOAD)
+        else:
+            with pytest.raises(CapabilityError):
+                c.check_dereference(nbytes, Perm.LOAD)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gobmk.13x13"])
+        assert args.workload == "gobmk.13x13"
+        assert args.revoker == "reloaded"
+        assert args.scale == 256
+
+    def test_unknown_strategy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "gobmk.13x13", "wat"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "xalancbmk.ref" in out
+        assert "reloaded" in out
+        assert "pgbench" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "gobmk.13x13", "reloaded", "--scale", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "gobmk.13x13/reloaded" in out
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "doom", "reloaded"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_attack_reports_safe(self, capsys):
+        assert main(["attack", "--rounds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "VULNERABLE" in out  # baseline and paint+sync
+        assert "safe" in out
+
+    def test_pgbench_percentiles(self, capsys):
+        assert main(["pgbench", "--transactions", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out
+
+    def test_trace_workflow(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "synth", path, "--objects", "30", "--churn", "100"]) == 0
+        assert main(["trace", "stats", path]) == 0
+        assert "well-formed" in capsys.readouterr().out
+        assert main(["trace", "replay", path, "reloaded"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "gobmk.13x13", "--scale", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "cherivoke" in out and "max pause" in out
+
+
+class TestVerifyPaper:
+    def test_verify_paper_passes(self, capsys):
+        assert main(["verify-paper", "--scale", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "paper claims verified" in out
+        assert "OFF" not in out

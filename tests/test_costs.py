@@ -1,0 +1,85 @@
+"""Unit tests for the cost model and cycle/time conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.costs import (
+    CYCLES_PER_SECOND,
+    CostModel,
+    GRANULES_PER_PAGE,
+    GRANULE_BYTES,
+    LINES_PER_PAGE,
+    LINE_BYTES,
+    PAGE_BYTES,
+    cycles_to_micros,
+    cycles_to_millis,
+    cycles_to_seconds,
+    default_cost_model,
+)
+
+
+class TestGeometry:
+    def test_granules_per_page(self):
+        assert GRANULES_PER_PAGE * GRANULE_BYTES == PAGE_BYTES
+        assert GRANULES_PER_PAGE == 256
+
+    def test_lines_per_page(self):
+        assert LINES_PER_PAGE * LINE_BYTES == PAGE_BYTES
+        assert LINES_PER_PAGE == 64
+
+    def test_granule_matches_cheri_tag_density(self):
+        # One tag per 16 bytes: the density of CHERI-128 tags (§2.2.2).
+        assert GRANULE_BYTES == 16
+
+
+class TestConversions:
+    def test_one_second(self):
+        assert cycles_to_seconds(CYCLES_PER_SECOND) == pytest.approx(1.0)
+
+    def test_one_milli(self):
+        assert cycles_to_millis(CYCLES_PER_SECOND // 1000) == pytest.approx(1.0)
+
+    def test_one_micro(self):
+        assert cycles_to_micros(CYCLES_PER_SECOND // 1_000_000) == pytest.approx(1.0)
+
+    def test_morello_clock(self):
+        assert CYCLES_PER_SECOND == 2_500_000_000  # 2.5 GHz (§2.1.1)
+
+
+class TestDerivedCosts:
+    def test_page_sweep_scales_with_tags(self):
+        costs = default_cost_model()
+        empty = costs.page_sweep_cycles(0, 0)
+        tagged = costs.page_sweep_cycles(100, 0)
+        revoked = costs.page_sweep_cycles(100, 50)
+        assert empty < tagged < revoked
+
+    def test_page_sweep_floor_covers_all_granules(self):
+        costs = default_cost_model()
+        assert costs.page_sweep_cycles(0, 0) >= GRANULES_PER_PAGE * costs.sweep_granule
+
+    def test_stw_scales_with_threads(self):
+        costs = default_cost_model()
+        single = costs.stw_cycles(0, 0, 0)
+        multi = costs.stw_cycles(1, 0, 0)
+        assert multi - single == costs.stw_per_extra_thread
+
+    def test_stw_single_thread_is_tens_of_microseconds(self):
+        # §5.4: Reloaded's single-threaded STW is "tens of microseconds".
+        costs = default_cost_model()
+        us = cycles_to_micros(costs.stw_cycles(0, 32, 0))
+        assert 5 < us < 100
+
+    def test_stream_cheaper_than_random_miss(self):
+        # Sweeps stream memory with prefetch (§5.6); random misses pay
+        # full DRAM latency.
+        costs = default_cost_model()
+        assert costs.mem_stream < costs.mem_miss
+
+    def test_model_is_mutable_for_ablation(self):
+        costs = CostModel(mem_miss=500)
+        assert costs.mem_miss == 500
+        assert default_cost_model().mem_miss != 500 or True
+        # fresh instances are independent
+        assert default_cost_model() is not default_cost_model()

@@ -1,0 +1,152 @@
+"""Unit tests for the core: load barriers, store barriers, faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapabilityError
+from repro.machine.capability import Capability, Perm
+from repro.machine.machine import Machine
+from repro.machine.trap import CapStoreFault, LoadGenerationFault, PageFault
+
+
+@pytest.fixture
+def machine() -> Machine:
+    m = Machine(memory_bytes=1 << 20)
+    for vpn in range(1, 9):
+        m.pagetable.map_page(vpn)
+    return m
+
+
+@pytest.fixture
+def core(machine):
+    return machine.cores[0]
+
+
+def rw_cap(addr=0x1000, length=0x1000) -> Capability:
+    return Capability.root(addr, length)
+
+
+class TestDataAccess:
+    def test_load_data_charges_cycles(self, core):
+        result = core.load_data(rw_cap(), 64)
+        assert result.cycles > 0
+
+    def test_store_data_clears_tags(self, core, machine):
+        cap = rw_cap()
+        core.store_cap(cap, rw_cap(0x2000, 16))
+        core.store_data(cap, 16)
+        assert machine.memory.load_cap(0x1000) is None
+
+    def test_unmapped_page_faults(self, core):
+        with pytest.raises(PageFault):
+            core.load_data(rw_cap(0x9000, 0x1000), 8)
+
+    def test_guard_page_faults(self, core, machine):
+        machine.pagetable.map_page(0x20, guard=True)
+        with pytest.raises(PageFault):
+            core.load_data(rw_cap(0x20000, 0x100), 8)
+
+    def test_miss_then_hit_cycle_difference(self, core):
+        first = core.load_data(rw_cap(), 64).cycles
+        second = core.load_data(rw_cap(), 64).cycles
+        assert first > second
+
+
+class TestCapStoreBarrier:
+    def test_store_sets_cap_dirty(self, core, machine):
+        core.store_cap(rw_cap(), rw_cap(0x2000, 16))
+        assert machine.pagetable.require(1).cap_dirty
+
+    def test_untagged_store_does_not_dirty(self, core, machine):
+        core.store_cap(rw_cap(), rw_cap(0x2000, 16).cleared())
+        assert not machine.pagetable.require(1).cap_dirty
+
+    def test_store_after_sweep_sets_redirtied(self, core, machine):
+        pte = machine.pagetable.require(1)
+        pte.swept_this_epoch = True
+        core.store_cap(rw_cap(), rw_cap(0x2000, 16))
+        assert pte.redirtied
+
+    def test_store_before_sweep_not_redirtied(self, core, machine):
+        core.store_cap(rw_cap(), rw_cap(0x2000, 16))
+        assert not machine.pagetable.require(1).redirtied
+
+    def test_cap_store_forbidden_page_traps(self, core, machine):
+        machine.pagetable.map_page(0x30, cap_store=False)
+        dst = rw_cap(0x30000, 0x1000)
+        with pytest.raises(CapStoreFault):
+            core.store_cap(dst, rw_cap(0x2000, 16))
+        # ...but untagged data through the same path is fine.
+        core.store_cap(dst, rw_cap(0x2000, 16).cleared())
+
+    def test_store_without_permission_is_capability_error(self, core):
+        weak = rw_cap().derive(0x1000, 16, Perm.LOAD | Perm.LOAD_CAP)
+        with pytest.raises(CapabilityError):
+            core.store_cap(weak, rw_cap(0x2000, 16))
+
+
+class TestCapLoadBarrier:
+    def _store_then_flip(self, core, machine):
+        cap = rw_cap()
+        core.store_cap(cap, rw_cap(0x2000, 16))
+        core.clg ^= 1  # epoch began: core generation moves ahead of PTEs
+        return cap
+
+    def test_tagged_load_with_stale_generation_faults(self, core, machine):
+        cap = self._store_then_flip(core, machine)
+        with pytest.raises(LoadGenerationFault):
+            core.load_cap(cap)
+        assert core.lg_faults == 1
+
+    def test_untagged_load_never_faults(self, core, machine):
+        self._store_then_flip(core, machine)
+        empty = rw_cap().with_address(0x1800)
+        assert core.load_cap(empty).value is None  # no trap, no tag
+
+    def test_load_after_pte_update_with_stale_tlb_faults(self, core, machine):
+        """The spurious-fault path of §4.3: PTE is current, TLB is not."""
+        cap = self._store_then_flip(core, machine)
+        pte = machine.pagetable.require(1)
+        pte.lg = core.clg  # revoker healed the page...
+        with pytest.raises(LoadGenerationFault):
+            core.load_cap(cap)  # ...but our TLB snapshot is stale
+        cycles = core.resolve_spurious_lg_fault(1)
+        assert cycles > 0
+        assert core.load_cap(cap).value is not None  # retry succeeds
+
+    def test_matching_generation_no_fault(self, core, machine):
+        cap = rw_cap()
+        core.store_cap(cap, rw_cap(0x2000, 16))
+        loaded = core.load_cap(cap)
+        assert loaded.value is not None and loaded.value.tag
+
+    def test_flip_clg_touches_no_pte(self, core, machine):
+        before = [(p.vpn, p.lg) for p in machine.pagetable.mapped_pages()]
+        core.flip_clg()
+        after = [(p.vpn, p.lg) for p in machine.pagetable.mapped_pages()]
+        assert before == after
+        assert core.clg == 1
+
+    def test_load_without_loadcap_permission_rejected(self, core):
+        weak = rw_cap().derive(0x1000, 16, Perm.LOAD | Perm.STORE)
+        with pytest.raises(CapabilityError):
+            core.load_cap(weak)
+
+
+class TestContention:
+    def test_sweep_inflates_miss_penalty(self, machine):
+        a, b = machine.cores[0], machine.cores[1]
+        quiet = a.load_data(rw_cap(0x1000, 64), 64).cycles
+        machine.bus.sweep_begin()
+        loud = b.load_data(rw_cap(0x1000, 64), 64).cycles
+        machine.bus.sweep_end()
+        assert loud > quiet
+
+    def test_tlb_shootdown_invalidates_all_cores(self, machine):
+        for c in machine.cores:
+            c.load_data(rw_cap(), 8)
+        cost = machine.tlb_shootdown(1)
+        assert cost > 0
+        for c in machine.cores:
+            assert c.tlb.lookup(1) is None

@@ -1,0 +1,76 @@
+"""Unit tests for the epoch clock and the dequarantine rule (§2.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.epoch import EpochClock, release_epoch_for
+
+
+class TestEpochClock:
+    def test_starts_idle_at_zero(self):
+        clock = EpochClock()
+        assert clock.read() == 0
+        assert not clock.revoking
+
+    def test_begin_makes_counter_odd(self):
+        clock = EpochClock()
+        clock.begin_revocation()
+        assert clock.read() == 1
+        assert clock.revoking
+
+    def test_end_makes_counter_even(self):
+        clock = EpochClock()
+        clock.begin_revocation()
+        clock.end_revocation()
+        assert clock.read() == 2
+        assert not clock.revoking
+        assert clock.completed == 1
+
+    def test_double_begin_rejected(self):
+        clock = EpochClock()
+        clock.begin_revocation()
+        with pytest.raises(SimulationError):
+            clock.begin_revocation()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(SimulationError):
+            EpochClock().end_revocation()
+
+    def test_completed_counts_epochs(self):
+        clock = EpochClock()
+        for _ in range(5):
+            clock.begin_revocation()
+            clock.end_revocation()
+        assert clock.completed == 5
+        assert clock.read() == 10
+
+
+class TestReleaseRule:
+    """§2.2.3: wait for the counter to advance at least twice (observed
+    even) or thrice (observed odd) — one revocation must both begin and
+    end after the paint."""
+
+    def test_even_observation_needs_two(self):
+        assert release_epoch_for(0) == 2
+        assert release_epoch_for(4) == 6
+
+    def test_odd_observation_needs_three(self):
+        assert release_epoch_for(1) == 4
+        assert release_epoch_for(5) == 8
+
+    def test_release_point_is_always_even(self):
+        for observed in range(10):
+            assert release_epoch_for(observed) % 2 == 0
+
+    def test_full_revocation_happens_before_release(self):
+        """Walking the counter forward from any observation, at least one
+        complete begin->end pair lies between observation and release."""
+        for observed in range(8):
+            release = release_epoch_for(observed)
+            # Epoch transitions between observed and release:
+            transitions = list(range(observed + 1, release + 1))
+            begins = [t for t in transitions if t % 2 == 1]
+            ends = [t for t in transitions if t % 2 == 0]
+            assert any(b < e for b in begins for e in ends)

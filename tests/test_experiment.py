@@ -1,0 +1,175 @@
+"""Tests for the experiment drivers and overhead arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.experiment import (
+    ALL_KINDS,
+    SAFETY_KINDS,
+    bus_overhead,
+    compare_strategies,
+    cpu_overhead,
+    overhead,
+    rss_ratio,
+    run_experiment,
+    wall_overhead,
+)
+from repro.core.metrics import RunResult
+from repro.workloads.churn import ChurnProfile, ChurnWorkload, SizeMix
+
+
+def tiny_factory():
+    profile = ChurnProfile(
+        name="tiny",
+        heap_bytes=32 << 10,
+        churn_bytes=128 << 10,
+        size_mix=SizeMix((64, 512), (0.7, 0.3)),
+        seed=4,
+    )
+    return ChurnWorkload(profile, QuarantinePolicy(min_bytes=8 << 10))
+
+
+class TestOverheadMath:
+    def test_overhead_fraction(self):
+        assert overhead(110, 100) == pytest.approx(0.10)
+        assert overhead(90, 100) == pytest.approx(-0.10)
+
+    def test_zero_baseline(self):
+        assert overhead(5, 0) == 0.0
+
+    def test_result_helpers(self):
+        base = RunResult("w", RevokerKind.NONE, wall_cycles=100)
+        base.cpu_cycles_by_core = {"core3": 100}
+        base.bus_by_source = {"core3": 50}
+        base.peak_rss_bytes = 1000
+        test = RunResult("w", RevokerKind.RELOADED, wall_cycles=120)
+        test.cpu_cycles_by_core = {"core3": 110, "core2": 30}
+        test.bus_by_source = {"core3": 60, "core2": 40}
+        test.peak_rss_bytes = 1400
+        assert wall_overhead(test, base) == pytest.approx(0.20)
+        assert cpu_overhead(test, base) == pytest.approx(0.40)
+        assert bus_overhead(test, base) == pytest.approx(1.00)
+        assert rss_ratio(test, base) == pytest.approx(1.4)
+
+
+class TestDrivers:
+    def test_run_experiment_accepts_factory(self):
+        result = run_experiment(tiny_factory, RevokerKind.RELOADED)
+        assert result.revoker is RevokerKind.RELOADED
+
+    def test_run_experiment_accepts_instance(self):
+        result = run_experiment(tiny_factory(), RevokerKind.NONE)
+        assert result.revoker is RevokerKind.NONE
+
+    def test_run_experiment_overrides_config_kind(self):
+        cfg = SimulationConfig(revoker=RevokerKind.NONE)
+        result = run_experiment(tiny_factory, RevokerKind.CHERIVOKE, cfg)
+        assert result.revoker is RevokerKind.CHERIVOKE
+
+    def test_compare_strategies_runs_all(self):
+        results = compare_strategies(tiny_factory, ALL_KINDS)
+        assert set(results) == set(ALL_KINDS)
+
+    def test_safety_kinds_subset(self):
+        assert set(SAFETY_KINDS) < set(ALL_KINDS)
+        assert all(k.provides_safety for k in SAFETY_KINDS)
+        assert not RevokerKind.PAINT_SYNC.provides_safety
+
+    def test_identical_trace_across_conditions(self):
+        results = compare_strategies(tiny_factory, (RevokerKind.NONE, RevokerKind.RELOADED))
+        none, rel = results[RevokerKind.NONE], results[RevokerKind.RELOADED]
+        # Same trace: the test condition can only be slower, never faster.
+        assert rel.wall_cycles >= none.wall_cycles
+        assert rel.total_bus_transactions >= none.total_bus_transactions
+
+
+class TestStrategyOrderings:
+    """The headline shape of the paper, on a small workload: pause-time
+    ordering CHERIvoke >> Cornucopia > Reloaded."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        def factory():
+            profile = ChurnProfile(
+                name="order",
+                heap_bytes=512 << 10,
+                churn_bytes=4 << 20,
+                size_mix=SizeMix((64, 256, 2048), (0.4, 0.4, 0.2)),
+                pointer_slots=2,
+                cap_loads_per_iter=3,
+                seed=2,
+            )
+            return ChurnWorkload(profile, QuarantinePolicy(min_bytes=64 << 10))
+
+        return compare_strategies(factory, ALL_KINDS)
+
+    def test_max_pause_ordering(self, results):
+        cv = max(results[RevokerKind.CHERIVOKE].stw_pauses)
+        co = max(results[RevokerKind.CORNUCOPIA].stw_pauses)
+        rl = max(results[RevokerKind.RELOADED].stw_pauses)
+        assert rl < co < cv
+
+    def test_reloaded_pause_orders_of_magnitude_below_cherivoke(self, results):
+        cv = max(results[RevokerKind.CHERIVOKE].stw_pauses)
+        rl = max(results[RevokerKind.RELOADED].stw_pauses)
+        assert rl * 10 < cv
+
+    def test_only_reloaded_takes_faults(self, results):
+        assert results[RevokerKind.RELOADED].foreground_faults > 0
+        for kind in (RevokerKind.CHERIVOKE, RevokerKind.CORNUCOPIA):
+            assert results[kind].foreground_faults == 0
+
+    def test_reloaded_bus_at_most_cornucopia(self, results):
+        rl = results[RevokerKind.RELOADED].total_bus_transactions
+        co = results[RevokerKind.CORNUCOPIA].total_bus_transactions
+        assert rl <= co
+
+    def test_paint_sync_cheapest_overhead(self, results):
+        base = results[RevokerKind.NONE]
+        ps = wall_overhead(results[RevokerKind.PAINT_SYNC], base)
+        for kind in SAFETY_KINDS:
+            assert ps <= wall_overhead(results[kind], base) + 1e-9
+
+    def test_quarantine_inflates_rss(self, results):
+        base = results[RevokerKind.NONE]
+        for kind in SAFETY_KINDS:
+            assert rss_ratio(results[kind], base) > 1.0
+
+
+class TestBatches:
+    def test_aggregates_across_seeds(self):
+        from repro.core.experiment import run_batches
+
+        def factory(seed):
+            profile = ChurnProfile(
+                name="batch",
+                heap_bytes=32 << 10,
+                churn_bytes=96 << 10,
+                size_mix=SizeMix((64, 512), (0.7, 0.3)),
+                seed=seed,
+            )
+            return ChurnWorkload(profile, QuarantinePolicy(min_bytes=16 << 10))
+
+        batch = run_batches(factory, RevokerKind.RELOADED, seeds=(1, 2, 3))
+        assert len(batch.runs) == 3
+        wall_mean, wall_std = batch.mean_pm_std(lambda r: float(r.wall_cycles))
+        assert wall_mean > 0
+        assert wall_std >= 0
+        # Different seeds give different traces, so there is real spread.
+        walls = {r.wall_cycles for r in batch.runs}
+        assert len(walls) > 1
+
+    def test_single_seed_zero_std(self):
+        from repro.core.experiment import run_batches
+
+        batch = run_batches(lambda s: tiny_factory(), RevokerKind.NONE, seeds=(7,))
+        assert batch.stddev(lambda r: float(r.wall_cycles)) == 0.0
+
+    def test_empty_seeds_rejected(self):
+        from repro.core.experiment import run_batches
+
+        with pytest.raises(ValueError):
+            run_batches(lambda s: tiny_factory(), RevokerKind.NONE, seeds=())

@@ -1,0 +1,452 @@
+"""Tests for the §6/§7 extensions: mmap quarantine, coloring, CHERIoT
+load filter, multi-threaded revocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.simulation import Simulation
+from repro.errors import AllocatorError, CapabilityError, SimulationError, VMError
+from repro.extensions.cheriot import CheriotRevoker, LoadFilter
+from repro.extensions.coloring import ColoredHeap
+from repro.extensions.multithread_revoker import MultithreadReloadedRevoker
+from repro.extensions.reservations import ReservationQuarantine
+from repro.kernel.kernel import Kernel
+from repro.kernel.revoker import ReloadedRevoker
+from repro.machine.costs import PAGE_BYTES
+from repro.machine.machine import Machine
+from repro.machine.trap import PageFault
+from repro.workloads.churn import ChurnProfile, ChurnWorkload, SizeMix
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel(Machine(memory_bytes=16 << 20))
+
+
+def tick_epoch(kernel: Kernel) -> None:
+    kernel.epoch.begin_revocation()
+    kernel.epoch.end_revocation()
+
+
+class TestReservationQuarantine:
+    def test_quarantine_requires_fully_unmapped(self, kernel):
+        rq = ReservationQuarantine(kernel)
+        _, res = kernel.address_space.mmap(PAGE_BYTES * 2)
+        with pytest.raises(VMError):
+            rq.quarantine(res)
+
+    def test_paint_covers_reservation(self, kernel):
+        rq = ReservationQuarantine(kernel)
+        cap, res = kernel.address_space.mmap(PAGE_BYTES)
+        kernel.address_space.munmap(res, cap.base, PAGE_BYTES)
+        rq.quarantine(res)
+        assert kernel.shadow.is_painted_addr(cap.base)
+
+    def test_recycle_waits_for_epoch(self, kernel):
+        rq = ReservationQuarantine(kernel)
+        cap, res = kernel.address_space.mmap(PAGE_BYTES)
+        kernel.address_space.munmap(res, cap.base, PAGE_BYTES)
+        rq.quarantine(res)
+        assert rq.poll() == []  # no epoch has passed
+        tick_epoch(kernel)
+        recycled = rq.poll()
+        assert recycled == [res]
+        assert not kernel.shadow.is_painted_addr(cap.base)
+        assert rq.pending == 0
+
+    def test_munmap_and_quarantine_handles_partial(self, kernel):
+        rq = ReservationQuarantine(kernel)
+        cap, res = kernel.address_space.mmap(PAGE_BYTES * 4)
+        kernel.address_space.munmap(res, cap.base + PAGE_BYTES, PAGE_BYTES)
+        rq.munmap_and_quarantine(res)
+        tick_epoch(kernel)
+        assert rq.poll() == [res]
+
+    def test_stale_cap_revoked_by_sweep(self, kernel):
+        """§6.2: the existing sweep revokes capabilities referencing
+        quarantined mappings — no revoker changes needed."""
+        revoker = kernel.install_revoker(ReloadedRevoker)
+        rq = ReservationQuarantine(kernel)
+        heap, _ = kernel.address_space.mmap(PAGE_BYTES)
+        mapped, res = kernel.address_space.mmap(PAGE_BYTES)
+        core = kernel.machine.cores[0]
+        core.store_cap(heap, mapped)  # a capability to the mapping
+        kernel.address_space.munmap(res, mapped.base, PAGE_BYTES)
+        rq.quarantine(res)
+        sched = kernel.machine.scheduler
+        t = sched.spawn("rev", revoker.revoke(core, sched.cores[0]), 0, stops_for_stw=False)
+        sched.run(until=[t])
+        # The stored capability to the unmapped region is gone.
+        assert kernel.machine.memory.load_cap(heap.base) is None
+
+    def test_guard_hole_cannot_be_refilled(self, kernel):
+        cap, res = kernel.address_space.mmap(PAGE_BYTES * 2)
+        kernel.address_space.munmap(res, cap.base, PAGE_BYTES)
+        other, _ = kernel.address_space.mmap(PAGE_BYTES * 4)
+        assert other.base >= cap.base + 2 * PAGE_BYTES  # hole stays a hole
+        with pytest.raises(PageFault):
+            kernel.machine.cores[0].load_data(cap, 8)
+
+
+class TestColoredHeap:
+    def test_alloc_and_access(self, kernel):
+        heap = ColoredHeap(kernel, num_colors=4)
+        ccap = heap.malloc(128)
+        heap.check_access(ccap)  # fresh capability matches
+
+    def test_stale_color_faults_immediately(self, kernel):
+        """§7.3: recoloring on free closes the UAF/UAR gap — the stale
+        capability dies at the next access, before any reuse."""
+        heap = ColoredHeap(kernel, num_colors=4)
+        ccap = heap.malloc(128)
+        heap.free(ccap)
+        with pytest.raises(CapabilityError):
+            heap.check_access(ccap)
+        assert heap.stats.miscolor_faults == 1
+
+    def test_double_free_faults(self, kernel):
+        heap = ColoredHeap(kernel, num_colors=4)
+        ccap = heap.malloc(128)
+        heap.free(ccap)
+        with pytest.raises(CapabilityError):
+            heap.free(ccap)
+
+    def test_recolored_slot_reusable_without_revocation(self, kernel):
+        heap = ColoredHeap(kernel, num_colors=4)
+        a = heap.malloc(128)
+        heap.free(a)
+        b = heap.malloc(128)
+        assert b.base == a.base
+        assert b.color == a.color + 1
+        heap.check_access(b)
+        with pytest.raises(CapabilityError):
+            heap.check_access(a)  # old color: permanently useless
+
+    def test_quarantine_only_on_color_exhaustion(self, kernel):
+        colors = 4
+        heap = ColoredHeap(kernel, num_colors=colors)
+        base = None
+        for i in range(colors):
+            ccap = heap.malloc(128)
+            base = ccap.base
+            heap.free(ccap)
+        assert heap.stats.frees_quarantined == 1
+        assert heap.stats.frees_recolored == colors - 1
+        assert kernel.shadow.is_painted_addr(base)
+
+    def test_revocation_pressure_scales_inversely_with_colors(self, kernel):
+        """The paper's headline §7.3 claim."""
+        results = {}
+        for colors in (2, 16):
+            k = Kernel(Machine(memory_bytes=16 << 20))
+            heap = ColoredHeap(k, num_colors=colors)
+            for _ in range(64):
+                ccap = heap.malloc(256)
+                heap.free(ccap)
+                if heap.quarantined:
+                    heap.release_after_revocation()
+            results[colors] = heap.stats.frees_quarantined
+        assert results[2] >= 8 * results[16]
+
+    def test_release_after_revocation_resets_colors(self, kernel):
+        heap = ColoredHeap(kernel, num_colors=2)
+        a = heap.malloc(128)
+        heap.free(a)  # color 0 -> 1
+        a = heap.malloc(128)
+        heap.free(a)  # color space exhausted
+        assert heap.quarantined
+        assert heap.release_after_revocation() == 1
+        b = heap.malloc(128)
+        assert b.base == a.base and b.color == 0
+
+    def test_too_few_colors_rejected(self, kernel):
+        with pytest.raises(AllocatorError):
+            ColoredHeap(kernel, num_colors=1)
+
+
+class TestCheriotLoadFilter:
+    def _setup(self, kernel):
+        heap, _ = kernel.address_space.mmap(PAGE_BYTES)
+        core = kernel.machine.cores[0]
+        filt = LoadFilter(core, kernel.shadow)
+        victim = heap.derive(heap.base + 0x100, 64)
+        core.store_cap(heap, victim)
+        return heap, core, filt, victim
+
+    def test_unpainted_load_passes(self, kernel):
+        heap, core, filt, victim = self._setup(kernel)
+        result = filt.load_cap(heap)
+        assert result.value.tag
+        assert filt.loads_filtered == 1
+        assert filt.caps_cleared == 0
+
+    def test_freed_object_immediately_inaccessible(self, kernel):
+        """§6.3: painting at free is enough — no trap, no epoch visible."""
+        heap, core, filt, victim = self._setup(kernel)
+        kernel.shadow.paint(victim.base, 64)
+        result = filt.load_cap(heap)
+        assert not result.value.tag
+        assert filt.caps_cleared == 1
+
+    def test_filter_not_self_healing(self, kernel):
+        """fn. 28: memory keeps the stale tag; every load pays the filter."""
+        heap, core, filt, victim = self._setup(kernel)
+        kernel.shadow.paint(victim.base, 64)
+        filt.load_cap(heap)
+        assert kernel.machine.memory.load_cap(heap.base) is not None
+        filt.load_cap(heap)
+        assert filt.caps_cleared == 2
+
+    def test_cheriot_revoker_never_pauses(self, kernel):
+        revoker = kernel.install_revoker(CheriotRevoker)
+        heap, _ = kernel.address_space.mmap(16 << 10)
+        core = kernel.machine.cores[0]
+        for off in range(0, 16 << 10, 256):
+            core.store_cap(
+                heap.with_address(heap.base + off),
+                heap.derive(heap.base + 0x100, 64),
+            )
+        sched = kernel.machine.scheduler
+        t = sched.spawn("rev", revoker.revoke(core, sched.cores[0]), 0, stops_for_stw=False)
+        sched.run(until=[t])
+        assert sched.stw_records == []
+        assert kernel.epoch.completed == 1
+        assert revoker.records[0].pages_swept >= 1
+
+
+class TestMultithreadRevoker:
+    def _run(self, threads: int):
+        def factory():
+            profile = ChurnProfile(
+                name="mt",
+                heap_bytes=512 << 10,
+                churn_bytes=2 << 20,
+                size_mix=SizeMix((128, 1024), (0.6, 0.4)),
+                pointer_slots=2,
+                seed=6,
+            )
+            return ChurnWorkload(profile, QuarantinePolicy(min_bytes=64 << 10))
+
+        cfg = SimulationConfig(
+            revoker=RevokerKind.RELOADED,
+            custom_revoker=None,
+        )
+        if threads > 1:
+            class _MT(MultithreadReloadedRevoker):
+                def __init__(self, *a, **kw):
+                    super().__init__(*a, sweep_threads=threads, **kw)
+                    self.worker_cores = [1]
+
+            cfg.custom_revoker = _MT
+        sim = Simulation(factory(), cfg)
+        result = sim.run()
+        return result
+
+    def test_runs_and_revokes(self):
+        result = self._run(2)
+        assert result.revocations >= 1
+        assert result.caps_revoked >= 0
+
+    def test_concurrent_phase_shorter_with_more_threads(self):
+        one = self._run(1)
+        two = self._run(2)
+        mean_one = sum(r.concurrent_cycles() for r in one.epoch_records) / len(one.epoch_records)
+        mean_two = sum(r.concurrent_cycles() for r in two.epoch_records) / len(two.epoch_records)
+        assert mean_two < mean_one
+
+    def test_safety_preserved(self):
+        from repro.workloads.adversarial import UafAttacker
+
+        class _MT(MultithreadReloadedRevoker):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, sweep_threads=2, **kw)
+                self.worker_cores = [1]
+
+        w = UafAttacker(rounds=10, churn_objects=60)
+        cfg = SimulationConfig(revoker=RevokerKind.RELOADED, custom_revoker=_MT)
+        Simulation(w, cfg).run()
+        assert w.report.uar_hits == 0
+
+    def test_invalid_thread_count_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.install_revoker(
+                lambda *a, **kw: MultithreadReloadedRevoker(*a, sweep_threads=0, **kw)
+            )
+
+    def test_custom_revoker_requires_kind(self):
+        cfg = SimulationConfig(revoker=RevokerKind.NONE, custom_revoker=MultithreadReloadedRevoker)
+        with pytest.raises(SimulationError):
+            Simulation(ChurnWorkload(ChurnProfile(
+                name="x", heap_bytes=4096, churn_bytes=4096,
+                size_mix=SizeMix((64,), (1.0,)),
+            )), cfg)
+
+
+class TestMultipassCornucopia:
+    def _run(self, passes: int):
+        from repro.extensions.multipass import MultipassCornucopiaRevoker
+        from repro.workloads.churn import ChurnProfile, ChurnWorkload, SizeMix
+
+        cfg = SimulationConfig(revoker=RevokerKind.CORNUCOPIA)
+        if passes > 1:
+            class _MP(MultipassCornucopiaRevoker):
+                def __init__(self, *a, **kw):
+                    super().__init__(*a, passes=passes, **kw)
+
+            cfg.custom_revoker = _MP
+        profile = ChurnProfile(
+            name="mp",
+            heap_bytes=256 << 10,
+            churn_bytes=1 << 20,
+            size_mix=SizeMix((128, 1024), (0.6, 0.4)),
+            pointer_slots=2,
+            cap_stores_per_iter=3,
+            seed=8,
+        )
+        w = ChurnWorkload(profile, QuarantinePolicy(min_bytes=64 << 10))
+        sim = Simulation(w, cfg)
+        return sim, sim.run()
+
+    def test_runs_and_is_safe(self):
+        from repro.workloads.adversarial import UafAttacker
+        from repro.extensions.multipass import MultipassCornucopiaRevoker
+
+        class _MP(MultipassCornucopiaRevoker):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, passes=2, **kw)
+
+        w = UafAttacker(rounds=10, churn_objects=60)
+        cfg = SimulationConfig(revoker=RevokerKind.CORNUCOPIA, custom_revoker=_MP)
+        Simulation(w, cfg).run()
+        assert w.report.uar_hits == 0
+
+    def test_extra_pass_increases_work(self):
+        # Epoch counts differ between runs (longer epochs batch more
+        # frees), so compare sweep volume *per epoch*.
+        _, one = self._run(1)
+        _, two = self._run(2)
+        assert two.revocations >= 1
+        per_epoch_one = one.pages_swept / one.revocations
+        per_epoch_two = two.pages_swept / two.revocations
+        assert per_epoch_two >= per_epoch_one
+
+    def test_pass_counts_recorded(self):
+        sim, _ = self._run(2)
+        revoker = sim.kernel.revoker
+        assert revoker.pass_page_counts
+        for per_pass in revoker.pass_page_counts:
+            assert len(per_pass) == 2
+            # Later passes sweep (weakly) less than the full first pass.
+            assert per_pass[1] <= per_pass[0]
+
+    def test_invalid_pass_count_rejected(self):
+        from repro.extensions.multipass import MultipassCornucopiaRevoker
+
+        kernel = Kernel(Machine(memory_bytes=8 << 20))
+        with pytest.raises(ValueError):
+            kernel.install_revoker(
+                lambda *a, **kw: MultipassCornucopiaRevoker(*a, passes=0, **kw)
+            )
+
+
+class TestHardwareSweepEngine:
+    def test_demo_platform_pass_time(self):
+        from repro.extensions.cheriot import HardwareSweepEngine
+
+        engine = HardwareSweepEngine()
+        # §6.3: 512 KiB "takes just over 3 milliseconds" at 20 MHz.
+        assert 3.0e-3 < engine.seconds_per_pass() < 3.5e-3
+
+    def test_step_accumulates_passes(self):
+        from repro.extensions.cheriot import HardwareSweepEngine
+
+        engine = HardwareSweepEngine(memory_bytes=1 << 10)  # 128 granules
+        assert engine.step(64) == 0
+        assert engine.step(64) == 1
+        assert engine.step(256) == 2
+        assert engine.passes_completed == 3
+
+    def test_negative_step_rejected(self):
+        from repro.extensions.cheriot import HardwareSweepEngine
+
+        with pytest.raises(ValueError):
+            HardwareSweepEngine().step(-1)
+
+
+class TestAlwaysTrapDisposition:
+    """§7.6: the always-trap PTE disposition removes clean-page
+    generation maintenance."""
+
+    def _run(self, revoker_cls):
+        from repro.workloads.churn import ChurnProfile, ChurnWorkload, SizeMix
+
+        profile = ChurnProfile(
+            name="at76",
+            heap_bytes=512 << 10,
+            churn_bytes=2 << 20,
+            # Large objects => plenty of capability-clean tail pages.
+            size_mix=SizeMix((256, 16384), (0.3, 0.7)),
+            pointer_slots=2,
+            seed=12,
+        )
+        w = ChurnWorkload(profile, QuarantinePolicy(min_bytes=128 << 10))
+        cfg = SimulationConfig(revoker=RevokerKind.RELOADED, custom_revoker=revoker_cls)
+        sim = Simulation(w, cfg)
+        return sim, sim.run()
+
+    def test_eliminates_gen_only_visits(self):
+        from repro.extensions.always_trap import AlwaysTrapReloadedRevoker
+
+        _, stock = self._run(None)
+        sim76, var76 = self._run(AlwaysTrapReloadedRevoker)
+        gen_only_stock = sum(e.pages_gen_only for e in stock.epoch_records)
+        gen_only_76 = sum(e.pages_gen_only for e in var76.epoch_records)
+        assert gen_only_stock > 0
+        assert gen_only_76 < gen_only_stock * 0.2
+        assert sim76.kernel.revoker.pages_skipped_always_trap > 0
+
+    def test_safety_preserved(self):
+        from repro.extensions.always_trap import AlwaysTrapReloadedRevoker
+        from repro.workloads.adversarial import UafAttacker
+
+        w = UafAttacker(rounds=10, churn_objects=60)
+        cfg = SimulationConfig(
+            revoker=RevokerKind.RELOADED, custom_revoker=AlwaysTrapReloadedRevoker
+        )
+        Simulation(w, cfg).run()
+        assert w.report.uar_hits == 0
+
+    def test_clean_page_trap_heals_without_sweep(self):
+        from repro.extensions.always_trap import AlwaysTrapReloadedRevoker
+
+        kernel = Kernel(Machine(memory_bytes=8 << 20))
+        revoker = kernel.install_revoker(AlwaysTrapReloadedRevoker)
+        heap, res = kernel.address_space.mmap(PAGE_BYTES)
+        pte = kernel.machine.pagetable.require(res.start_vpn)
+        assert pte.always_trap_cap_loads  # born always-trap
+        core = kernel.machine.cores[0]
+        from repro.machine.trap import LoadGenerationFault
+
+        with pytest.raises(LoadGenerationFault):
+            core.load_cap(heap)  # untagged load STILL traps (fn. 18)
+        cycles = kernel.handle_lg_fault(core, LoadGenerationFault(res.start_vpn, heap.base))
+        assert cycles > 0
+        assert not pte.always_trap_cap_loads
+        assert revoker.clean_page_traps == 1
+        assert core.load_cap(heap).value is None  # healed: no more traps
+
+    def test_first_cap_store_transitions_disposition(self):
+        from repro.extensions.always_trap import AlwaysTrapReloadedRevoker
+
+        kernel = Kernel(Machine(memory_bytes=8 << 20))
+        kernel.install_revoker(AlwaysTrapReloadedRevoker)
+        heap, res = kernel.address_space.mmap(PAGE_BYTES)
+        pte = kernel.machine.pagetable.require(res.start_vpn)
+        core = kernel.machine.cores[0]
+        core.store_cap(heap, heap)
+        assert not pte.always_trap_cap_loads
+        assert pte.cap_dirty
+        assert pte.lg == core.clg

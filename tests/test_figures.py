@@ -1,0 +1,125 @@
+"""Tests for the figure-data builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    METRIC_BUS,
+    METRIC_WALL,
+    OverheadPoint,
+    PauseSummary,
+    build_latency_grid,
+    build_overhead_series,
+    build_phase_boxes,
+    build_table2_row,
+)
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.experiment import compare_strategies
+from repro.core.metrics import LatencySample, RunResult
+from repro.kernel.revoker.base import EpochRecord, PhaseSample
+from repro.workloads.microbench import PingPongAllocator
+
+
+def fake_result(kind, wall=100, cpu=None, bus=10, latencies=(), pauses=(),
+                records=()):
+    r = RunResult("w", kind, wall_cycles=wall)
+    r.cpu_cycles_by_core = {"core3": cpu if cpu is not None else wall}
+    r.bus_by_source = {"core3": bus}
+    r.latencies = [LatencySample("x", 0, c) for c in latencies]
+    r.stw_pauses = list(pauses)
+    r.epoch_records = list(records)
+    return r
+
+
+class TestOverheadSeries:
+    def test_overhead_math(self):
+        p = OverheadPoint("b", RevokerKind.RELOADED, baseline=100, test=125)
+        assert p.overhead == pytest.approx(0.25)
+        assert p.ratio == pytest.approx(1.25)
+
+    def test_builder_grid(self):
+        results = {
+            "alpha": {
+                RevokerKind.NONE: fake_result(RevokerKind.NONE, wall=100),
+                RevokerKind.RELOADED: fake_result(RevokerKind.RELOADED, wall=110),
+            },
+            "beta": {
+                RevokerKind.NONE: fake_result(RevokerKind.NONE, wall=200),
+                RevokerKind.RELOADED: fake_result(RevokerKind.RELOADED, wall=300),
+            },
+        }
+        series = build_overhead_series(
+            results, METRIC_WALL, "wall", (RevokerKind.RELOADED,)
+        )
+        assert series.overhead("alpha", RevokerKind.RELOADED) == pytest.approx(0.10)
+        assert series.overhead("beta", RevokerKind.RELOADED) == pytest.approx(0.50)
+        assert series.benchmarks() == ["alpha", "beta"]
+        assert len(series.strategy_overheads(RevokerKind.RELOADED)) == 2
+
+    def test_missing_point_raises(self):
+        series = build_overhead_series({}, METRIC_BUS, "bus", ())
+        with pytest.raises(KeyError):
+            series.overhead("nope", RevokerKind.RELOADED)
+
+
+class TestLatencyGrid:
+    def test_grid_and_normalization(self):
+        base = fake_result(RevokerKind.NONE, latencies=[2_500_000] * 99 + [25_000_000])
+        test = fake_result(RevokerKind.RELOADED, latencies=[2_500_000] * 99 + [50_000_000])
+        grid = build_latency_grid(
+            {RevokerKind.NONE: base, RevokerKind.RELOADED: test},
+            percentiles=(50, 99.9),
+        )
+        assert grid.value(RevokerKind.NONE, 50) == pytest.approx(1.0)  # 1 ms
+        norm = grid.normalized_to(RevokerKind.NONE)
+        assert norm.value(RevokerKind.RELOADED, 50) == pytest.approx(1.0)
+        assert norm.value(RevokerKind.RELOADED, 99.9) > 1.5
+
+
+class TestPhaseBoxes:
+    def test_extracts_phases_and_faults(self):
+        rec = EpochRecord(epoch=1)
+        rec.phases.append(PhaseSample(1, "stw", "stw", 0, 250_000))
+        rec.phases.append(PhaseSample(1, "conc", "concurrent", 250_000, 1_000_000))
+        rec.fault_cycles = 50_000
+        result = fake_result(RevokerKind.RELOADED, records=[rec])
+        boxes = build_phase_boxes("bench", {RevokerKind.RELOADED: result})
+        kinds = {(b.strategy, b.phase) for b in boxes}
+        assert (RevokerKind.RELOADED, "stw") in kinds
+        assert (RevokerKind.RELOADED, "concurrent") in kinds
+        assert (RevokerKind.RELOADED, "fault-sum") in kinds
+        stw = next(b for b in boxes if b.phase == "stw")
+        assert stw.stats.median == pytest.approx(100.0)  # 250k cycles = 100 us
+
+
+class TestSummaries:
+    def test_table2_row(self):
+        r = fake_result(RevokerKind.RELOADED, wall=2_500_000_000)
+        r.mean_alloc_bytes = float(1 << 20)
+        r.sum_freed_bytes = 10 << 20
+        r.revocations = 5
+        row = build_table2_row("x", r)
+        assert row.freed_to_alloc == pytest.approx(10.0)
+        assert row.rev_per_sec == pytest.approx(5.0)
+        assert row.rev_per_freed_mib == pytest.approx(0.5)
+
+    def test_pause_summary_empty(self):
+        s = PauseSummary.of(fake_result(RevokerKind.NONE))
+        assert s.count == 0 and s.max_ms == 0.0
+
+    def test_pause_summary_values(self):
+        r = fake_result(RevokerKind.CHERIVOKE, pauses=[2_500_000, 7_500_000])
+        s = PauseSummary.of(r)
+        assert s.count == 2
+        assert s.max_ms == pytest.approx(3.0)
+
+    def test_end_to_end_with_real_runs(self):
+        results = compare_strategies(
+            lambda: PingPongAllocator(iterations=300),
+            (RevokerKind.NONE, RevokerKind.RELOADED),
+        )
+        series = build_overhead_series(
+            {"pingpong": results}, METRIC_WALL, "wall", (RevokerKind.RELOADED,)
+        )
+        assert series.overhead("pingpong", RevokerKind.RELOADED) >= 0.0

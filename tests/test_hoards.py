@@ -1,0 +1,97 @@
+"""Unit tests for register files and kernel capability hoards (§4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.hoards import KernelHoards, RegisterFile
+from repro.kernel.shadow import RevocationBitmap
+from repro.machine.capability import Capability
+
+
+@pytest.fixture
+def shadow() -> RevocationBitmap:
+    return RevocationBitmap(1 << 20)
+
+
+def cap(addr=0x1000) -> Capability:
+    return Capability.root(addr, 64)
+
+
+class TestRegisterFile:
+    def test_set_get_clear(self):
+        rf = RegisterFile()
+        rf.set(3, cap())
+        assert rf.get(3) == cap()
+        rf.clear(3)
+        assert rf.get(3) is None
+
+    def test_capacity_enforced(self):
+        rf = RegisterFile(capacity=4)
+        with pytest.raises(IndexError):
+            rf.set(4, cap())
+        with pytest.raises(IndexError):
+            rf.set(-1, cap())
+
+    def test_live_caps_excludes_untagged(self):
+        rf = RegisterFile()
+        rf.set(0, cap())
+        rf.set(1, cap().cleared())
+        assert [i for i, _ in rf.live_caps()] == [0]
+
+    def test_scan_clears_painted(self, shadow):
+        rf = RegisterFile()
+        rf.set(0, cap(0x1000))
+        rf.set(1, cap(0x2000))
+        shadow.paint(0x1000, 64)
+        outcome = rf.scan(shadow)
+        assert outcome.checked == 2
+        assert outcome.revoked == 1
+        assert not rf.get(0).tag
+        assert rf.get(1).tag
+
+    def test_scan_ignores_already_untagged(self, shadow):
+        rf = RegisterFile()
+        rf.set(0, cap().cleared())
+        outcome = rf.scan(shadow)
+        assert outcome.checked == 0
+
+    def test_scan_is_idempotent(self, shadow):
+        rf = RegisterFile()
+        rf.set(0, cap(0x1000))
+        shadow.paint(0x1000, 64)
+        rf.scan(shadow)
+        outcome = rf.scan(shadow)
+        assert outcome.revoked == 0
+
+
+class TestKernelHoards:
+    def test_stash_retrieve(self):
+        hoards = KernelHoards()
+        t = hoards.stash("kqueue", cap())
+        assert hoards.retrieve("kqueue", t) == cap()
+
+    def test_total_caps_across_subsystems(self):
+        hoards = KernelHoards()
+        hoards.stash("kqueue", cap())
+        hoards.stash("aio", cap(0x2000))
+        hoards.stash("aio", cap(0x3000))
+        assert hoards.total_caps() == 3
+
+    def test_scan_clears_painted_everywhere(self, shadow):
+        hoards = KernelHoards()
+        t1 = hoards.stash("kqueue", cap(0x1000))
+        t2 = hoards.stash("aio", cap(0x2000))
+        shadow.paint(0x1000, 64)
+        shadow.paint(0x2000, 64)
+        outcome = hoards.scan(shadow)
+        assert outcome.revoked == 2
+        assert not hoards.retrieve("kqueue", t1).tag
+        assert not hoards.retrieve("aio", t2).tag
+
+    def test_scan_spares_unpainted(self, shadow):
+        hoards = KernelHoards()
+        t = hoards.stash("kqueue", cap(0x5000))
+        shadow.paint(0x1000, 64)
+        hoards.scan(shadow)
+        assert hoards.retrieve("kqueue", t).tag

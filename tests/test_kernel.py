@@ -1,0 +1,55 @@
+"""Unit tests for the Kernel aggregate and fault dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.hoards import RegisterFile
+from repro.kernel.kernel import Kernel
+from repro.kernel.revoker import CornucopiaRevoker, ReloadedRevoker
+from repro.machine.machine import Machine
+from repro.machine.trap import LoadGenerationFault
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel(Machine(memory_bytes=8 << 20))
+
+
+class TestKernelAssembly:
+    def test_shadow_covers_memory(self, kernel):
+        assert kernel.shadow.size_bytes == kernel.machine.memory.size_bytes
+
+    def test_install_revoker_once(self, kernel):
+        kernel.install_revoker(ReloadedRevoker)
+        with pytest.raises(SimulationError):
+            kernel.install_revoker(CornucopiaRevoker)
+
+    def test_register_thread_reaches_revoker(self, kernel):
+        revoker = kernel.install_revoker(ReloadedRevoker)
+        rf = RegisterFile()
+        kernel.register_thread(rf)
+        assert rf in revoker.register_files
+
+    def test_register_thread_without_revoker_is_noop(self, kernel):
+        kernel.register_thread(RegisterFile())  # baseline config: fine
+
+    def test_fault_without_revoker_rejected(self, kernel):
+        fault = LoadGenerationFault(5, 5 * 4096)
+        with pytest.raises(SimulationError):
+            kernel.handle_lg_fault(kernel.machine.cores[0], fault)
+
+    def test_fault_dispatch_reaches_reloaded(self, kernel):
+        revoker = kernel.install_revoker(ReloadedRevoker)
+        heap, _ = kernel.address_space.mmap(4096)
+        core = kernel.machine.cores[0]
+        core.store_cap(heap, heap)
+        # Manufacture the epoch state in which faults occur.
+        revoker._open_epoch(kernel.machine.scheduler.cores[0])
+        core.flip_clg()
+        revoker.current_lg = 1
+        fault = LoadGenerationFault(heap.base // 4096, heap.base)
+        cycles = kernel.handle_lg_fault(core, fault)
+        assert cycles > 0
+        assert revoker.foreground_faults == 1

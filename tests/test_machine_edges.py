@@ -1,0 +1,179 @@
+"""Edge-case and property tests across the machine layer that the
+per-module suites don't cover: cross-page accesses, scheduler programs
+under hypothesis, capability derivation chains, VM layout properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.kernel.vm import AddressSpace
+from repro.machine.capability import Capability
+from repro.machine.costs import PAGE_BYTES
+from repro.machine.machine import Machine
+from repro.machine.scheduler import Sleep
+from repro.machine.trap import PageFault
+
+
+class TestCrossPageAccesses:
+    @pytest.fixture
+    def machine(self):
+        m = Machine(memory_bytes=1 << 20)
+        m.pagetable.map_page(1)
+        m.pagetable.map_page(2)
+        m.pagetable.map_page(3, guard=True)
+        return m
+
+    def test_access_spanning_two_mapped_pages_ok(self, machine):
+        cap = Capability.root(0x1000, 0x2000).with_address(0x1FC0)
+        machine.cores[0].load_data(cap, 128)  # 0x1FC0..0x2040
+
+    def test_access_creeping_into_guard_faults(self, machine):
+        cap = Capability.root(0x1000, 0x3000).with_address(0x2FC0)
+        with pytest.raises(PageFault):
+            machine.cores[0].load_data(cap, 128)  # crosses into guard page 3
+
+    def test_store_creeping_into_unmapped_faults(self, machine):
+        cap = Capability.root(0x1000, 0x4000).with_address(0x2FF0)
+        with pytest.raises(PageFault):
+            machine.cores[0].store_data(cap, 4096 + 32)
+
+    def test_exactly_page_sized_access(self, machine):
+        cap = Capability.root(0x1000, 0x2000)
+        machine.cores[0].load_data(cap, PAGE_BYTES)
+
+
+class TestDerivationChains:
+    @given(
+        cuts=st.lists(
+            st.tuples(st.floats(0, 1), st.floats(0.05, 1)), min_size=1, max_size=6
+        )
+    )
+    def test_nested_derivations_stay_in_root(self, cuts):
+        """Repeatedly deriving sub-capabilities never escapes the root."""
+        root = Capability.root(0x10000, 0x10000)
+        cap = root
+        for frac_base, frac_len in cuts:
+            if cap.length < 32:
+                break
+            base = cap.base + int(frac_base * (cap.length - 16))
+            base &= ~15
+            length = max(16, int(frac_len * (cap.top - base)))
+            length = min(length, cap.top - base)
+            cap = cap.derive(base, length)
+            assert root.base <= cap.base
+            assert cap.top <= root.top
+            assert cap.tag
+
+
+class TestSchedulerPrograms:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        programs=st.lists(
+            st.lists(st.integers(1, 500), min_size=1, max_size=10),
+            min_size=1,
+            max_size=6,
+        ),
+        cores=st.integers(1, 4),
+    )
+    def test_random_thread_programs_conserve_time(self, programs, cores):
+        """For arbitrary straight-line thread programs: every thread's
+        busy time equals the sum of its yields, and the wall clock is at
+        least the per-core busy maximum."""
+        machine = Machine(memory_bytes=1 << 20, num_cores=cores)
+        sched = machine.scheduler
+        threads = []
+        for i, program in enumerate(programs):
+            body = (c for c in list(program))
+            threads.append((sched.spawn(f"t{i}", body, i % cores), sum(program)))
+        wall = sched.run()
+        per_core: dict[int, int] = {}
+        for thread, expected in threads:
+            assert thread.busy_cycles == expected
+            per_core[thread.core.index] = per_core.get(thread.core.index, 0) + expected
+        assert wall == max(per_core.values())
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        busy=st.integers(1, 1000),
+        sleep=st.integers(1, 10_000),
+    )
+    def test_sleep_time_is_not_busy_time(self, busy, sleep):
+        machine = Machine(memory_bytes=1 << 20)
+        sched = machine.scheduler
+
+        def body():
+            yield busy
+            yield Sleep(sleep)
+
+        t = sched.spawn("t", body(), 0)
+        wall = sched.run()
+        assert t.busy_cycles == busy
+        assert wall == busy + sleep
+
+    def test_run_until_condition(self):
+        machine = Machine(memory_bytes=1 << 20)
+        sched = machine.scheduler
+        state = {"ticks": 0}
+
+        def daemon():
+            while True:
+                yield 100
+                state["ticks"] += 1
+
+        sched.spawn("d", daemon(), 0, stops_for_stw=False)
+        sched.run_until_condition(lambda: state["ticks"] >= 5)
+        assert state["ticks"] >= 5
+
+    def test_run_until_condition_deadlock_detected(self):
+        machine = Machine(memory_bytes=1 << 20)
+        with pytest.raises(SimulationError):
+            machine.scheduler.run_until_condition(lambda: False)
+
+    def test_spawn_during_stw_defers_user_thread(self):
+        from repro.machine.scheduler import ResumeWorld, StopWorld, ThreadState
+
+        machine = Machine(memory_bytes=1 << 20)
+        sched = machine.scheduler
+        spawned = {}
+
+        def app():
+            yield 1000
+
+        def revoker():
+            yield StopWorld()
+            spawned["t"] = sched.spawn("late", (x for x in [10]), 0)
+            state_during = spawned["t"].state
+            spawned["during"] = state_during
+            yield 500
+            yield ResumeWorld()
+
+        a = sched.spawn("app", app(), 0)
+        sched.spawn("rev", revoker(), 1, stops_for_stw=False)
+        sched.run()  # every thread, including the late spawn
+        assert spawned["during"] is ThreadState.STOPPED
+        assert spawned["t"].state is ThreadState.FINISHED
+
+
+class TestVmLayoutProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 1 << 16), min_size=1, max_size=30))
+    def test_mmap_sequence_never_overlaps(self, sizes):
+        aspace = AddressSpace(Machine(memory_bytes=64 << 20))
+        spans = []
+        for size in sizes:
+            cap, res = aspace.mmap(size)
+            spans.append((cap.base, cap.top))
+        spans.sort()
+        for (b1, t1), (b2, _) in zip(spans, spans[1:]):
+            assert t1 <= b2
+
+    @settings(max_examples=20, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 1 << 16), min_size=1, max_size=30))
+    def test_rss_equals_sum_of_reservations(self, sizes):
+        aspace = AddressSpace(Machine(memory_bytes=64 << 20))
+        for size in sizes:
+            aspace.mmap(size)
+        expected = sum(r.num_pages for r in aspace.reservations)
+        assert aspace.mapped_pages == expected

@@ -1,0 +1,110 @@
+"""Unit tests for RunResult derived metrics and configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MachineConfig, RevokerKind, SimulationConfig
+from repro.core.metrics import LatencySample, RunResult
+from repro.errors import ConfigError
+from repro.kernel.revoker.base import EpochRecord
+from repro.machine.costs import CYCLES_PER_SECOND
+
+
+class TestLatencySample:
+    def test_cycles_and_millis(self):
+        s = LatencySample("tx", 1000, 1000 + CYCLES_PER_SECOND // 1000)
+        assert s.cycles == CYCLES_PER_SECOND // 1000
+        assert s.millis == pytest.approx(1.0)
+
+
+class TestRunResultDerived:
+    def make(self) -> RunResult:
+        r = RunResult("w", RevokerKind.RELOADED)
+        r.wall_cycles = CYCLES_PER_SECOND  # one second
+        r.cpu_cycles_by_core = {"core3": 100, "core2": 50}
+        r.bus_by_source = {"core3": 7, "core2": 3}
+        return r
+
+    def test_totals(self):
+        r = self.make()
+        assert r.total_cpu_cycles == 150
+        assert r.total_bus_transactions == 10
+        assert r.wall_seconds == pytest.approx(1.0)
+
+    def test_freed_to_alloc_guards_zero(self):
+        r = self.make()
+        assert r.freed_to_alloc_ratio == 0.0
+        r.mean_alloc_bytes = 100.0
+        r.sum_freed_bytes = 1000
+        assert r.freed_to_alloc_ratio == pytest.approx(10.0)
+
+    def test_revocations_per_second(self):
+        r = self.make()
+        r.revocations = 4
+        assert r.revocations_per_second == pytest.approx(4.0)
+        r.wall_cycles = 0
+        assert r.revocations_per_second == 0.0
+
+    def test_fault_cycles_aggregation(self):
+        r = self.make()
+        a, b = EpochRecord(1), EpochRecord(3)
+        a.fault_cycles, b.fault_cycles = 100, 250
+        r.epoch_records = [a, b]
+        assert r.total_fault_cycles == 350
+
+    def test_max_pause_empty(self):
+        assert self.make().max_stw_pause_ms() == 0.0
+
+    def test_latency_cycles_list(self):
+        r = self.make()
+        r.latencies = [LatencySample("x", 0, 10), LatencySample("x", 5, 25)]
+        assert r.latency_cycles() == [10, 20]
+
+    def test_summary_contains_key_fields(self):
+        text = self.make().summary()
+        assert "w/reloaded" in text
+        assert "wall=" in text and "revocations=" in text
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SimulationConfig().validate()
+
+    def test_app_core_bounds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(app_core=4).validate()
+        with pytest.raises(ConfigError):
+            SimulationConfig(app_core=-1).validate()
+
+    def test_revoker_core_bounds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(revoker_core=9).validate()
+
+    def test_machine_validation(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=0).validate()
+        with pytest.raises(ConfigError):
+            MachineConfig(memory_bytes=1024).validate()
+
+    def test_fewer_cores_needs_adjusted_pins(self):
+        cfg = SimulationConfig(machine=MachineConfig(num_cores=2))
+        with pytest.raises(ConfigError):
+            cfg.validate()  # default app_core=3 out of range
+        cfg = SimulationConfig(
+            machine=MachineConfig(num_cores=2), app_core=1, revoker_core=0
+        )
+        cfg.validate()
+
+    def test_provides_safety_matrix(self):
+        assert not RevokerKind.NONE.provides_safety
+        assert not RevokerKind.PAINT_SYNC.provides_safety
+        for kind in (RevokerKind.CHERIVOKE, RevokerKind.CORNUCOPIA,
+                     RevokerKind.RELOADED):
+            assert kind.provides_safety
+
+    def test_kind_values_are_stable_strings(self):
+        # The CLI and serialized results depend on these exact values.
+        assert {k.value for k in RevokerKind} == {
+            "none", "paint+sync", "cherivoke", "cornucopia", "reloaded",
+        }

@@ -1,0 +1,102 @@
+"""Unit tests for PTEs, the page table, and the TLB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VMError
+from repro.machine.pagetable import PTE, PageTable, TLB
+
+
+@pytest.fixture
+def pt() -> PageTable:
+    return PageTable()
+
+
+class TestPageTable:
+    def test_map_and_get(self, pt):
+        pte = pt.map_page(5)
+        assert pt.get(5) is pte
+        assert 5 in pt
+        assert len(pt) == 1
+
+    def test_double_map_rejected(self, pt):
+        pt.map_page(5)
+        with pytest.raises(VMError):
+            pt.map_page(5)
+
+    def test_unmap(self, pt):
+        pt.map_page(5)
+        pt.unmap_page(5)
+        assert pt.get(5) is None
+
+    def test_unmap_unmapped_rejected(self, pt):
+        with pytest.raises(VMError):
+            pt.unmap_page(5)
+
+    def test_require_raises_on_missing(self, pt):
+        with pytest.raises(VMError):
+            pt.require(9)
+
+    def test_mapped_pages_sorted(self, pt):
+        for vpn in (9, 3, 7):
+            pt.map_page(vpn)
+        assert [p.vpn for p in pt.mapped_pages()] == [3, 7, 9]
+
+    def test_defaults(self, pt):
+        pte = pt.map_page(1)
+        assert pte.writable and pte.cap_store and pte.cap_load
+        assert not pte.cap_dirty and not pte.redirtied
+        assert pte.lg == 0 and not pte.guard
+
+    def test_map_with_generation(self, pt):
+        assert pt.map_page(1, lg=1).lg == 1
+
+    def test_cap_dirty_pages_filter(self, pt):
+        clean = pt.map_page(1)
+        dirty = pt.map_page(2)
+        guard = pt.map_page(3, guard=True)
+        dirty.cap_dirty = True
+        guard.cap_dirty = True  # guard pages are never swept
+        assert [p.vpn for p in pt.cap_dirty_pages()] == [2]
+
+    def test_redirtied_pages_filter(self, pt):
+        a = pt.map_page(1)
+        b = pt.map_page(2)
+        b.redirtied = True
+        assert [p.vpn for p in pt.redirtied_pages()] == [2]
+
+
+class TestTLB:
+    def test_miss_then_fill(self, pt):
+        tlb = TLB()
+        assert tlb.lookup(4) is None
+        entry = tlb.fill(4, pt.map_page(4, lg=1))
+        assert tlb.lookup(4) is entry
+        assert entry.lg == 1
+        assert tlb.refills == 1
+
+    def test_entry_snapshot_is_stale_after_pte_update(self, pt):
+        """The TLB caches the PTE at fill time; later PTE updates are not
+        visible until invalidation — the staleness §4.3 handles."""
+        tlb = TLB()
+        pte = pt.map_page(4, lg=0)
+        entry = tlb.fill(4, pte)
+        pte.lg = 1
+        assert tlb.lookup(4).lg == 0
+        tlb.fill(4, pte)
+        assert tlb.lookup(4).lg == 1
+
+    def test_invalidate_single(self, pt):
+        tlb = TLB()
+        tlb.fill(4, pt.map_page(4))
+        tlb.invalidate(4)
+        assert tlb.lookup(4) is None
+
+    def test_invalidate_all_counts_shootdowns(self, pt):
+        tlb = TLB()
+        tlb.fill(1, pt.map_page(1))
+        tlb.fill(2, pt.map_page(2))
+        tlb.invalidate_all()
+        assert tlb.lookup(1) is None and tlb.lookup(2) is None
+        assert tlb.shootdowns == 1

@@ -1,0 +1,100 @@
+"""Tests for the paper-expectations data module, plus fast end-to-end
+checks of claims it encodes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.paper import Direction, Expectation, check_ordering, compare
+
+
+class TestExpectationMechanics:
+    def test_at_most(self):
+        e = Expectation("k", "s", 0.5, Direction.AT_MOST)
+        assert e.check(0.4) and e.check(0.5) and not e.check(0.6)
+
+    def test_at_least(self):
+        e = Expectation("k", "s", 2.0, Direction.AT_LEAST)
+        assert e.check(3.0) and not e.check(1.0)
+
+    def test_approx_band(self):
+        e = Expectation("k", "s", 10.0, Direction.APPROX, tolerance=0.5)
+        assert e.check(5.0) and e.check(20.0)
+        assert not e.check(4.9) and not e.check(21.0)
+
+    def test_compare_describes(self):
+        e = Expectation("fig1.x", "§5.1", 0.3, Direction.APPROX, 0.5)
+        result = compare(e, 0.25)
+        assert result.ok
+        assert "fig1.x" in result.describe()
+        assert "OK" in result.describe()
+        assert "OFF" in compare(e, 10.0).describe()
+
+    def test_check_ordering(self):
+        assert check_ordering({"a": 3.0, "b": 2.0, "c": 1.0}, ["a", "b", "c"])
+        assert not check_ordering({"a": 1.0, "b": 2.0, "c": 3.0}, ["a", "b", "c"])
+
+
+class TestPaperData:
+    def test_table2_rows_complete(self):
+        assert set(paper.TABLE2) >= {
+            "xalancbmk", "omnetpp", "pgbench", "gRPC QPS", "gobmk trevord",
+        }
+        for row in paper.TABLE2.values():
+            assert row.mean_alloc_mib > 0
+            assert row.revocations > 0
+
+    def test_table2_fa_consistency(self):
+        """The F:A column is (approximately) sum-freed over mean-alloc."""
+        for row in paper.TABLE2.values():
+            derived = (row.sum_freed_gib * 1024) / row.mean_alloc_mib
+            assert derived == pytest.approx(row.freed_to_alloc, rel=0.15)
+
+    def test_table1_tail_falls_with_lower_rate(self):
+        """§5.2.1: the 99.9th percentile decreases at lower throughput."""
+        assert paper.TABLE1[100][-1] < paper.TABLE1[150][-1] < paper.TABLE1[250][-1]
+
+    def test_fig7_spread_ordering(self):
+        spreads = {k: e.value for k, e in paper.FIG7_TAIL_SPREAD_MS.items()}
+        assert check_ordering(spreads, ["cherivoke", "cornucopia", "reloaded"])
+
+    def test_fig4_worst_cases_favor_reloaded(self):
+        for bench in ("omnetpp", "xalancbmk"):
+            assert (
+                paper.FIG4_WORST_CASES[(bench, "reloaded")]
+                < paper.FIG4_WORST_CASES[(bench, "cornucopia")]
+            )
+
+    def test_nonrevoking_set(self):
+        assert set(paper.NON_REVOKING_BENCHMARKS) == {"bzip2", "sjeng"}
+
+
+class TestClaimsAgainstSimulation:
+    """Fast simulation checks of selected encoded claims (full-size
+    comparisons live in the benchmark harness)."""
+
+    def test_reloaded_single_thread_stw_is_tens_of_us(self):
+        from repro.core.config import RevokerKind
+        from repro.core.experiment import run_experiment
+        from repro.machine.costs import cycles_to_micros
+        from repro.workloads import spec
+
+        r = run_experiment(spec.workload("gobmk", "13x13", scale=1024),
+                           RevokerKind.RELOADED)
+        med = sorted(r.stw_pauses)[len(r.stw_pauses) // 2]
+        assert paper.FIG9_RELOADED_STW_US.check(cycles_to_micros(med))
+
+    def test_pause_ordering_claim(self):
+        from repro.core.config import RevokerKind
+        from repro.core.experiment import compare_strategies
+        from repro.workloads import spec
+
+        results = compare_strategies(
+            lambda: spec.workload("hmmer", "retro", scale=512),
+            (RevokerKind.CHERIVOKE, RevokerKind.CORNUCOPIA, RevokerKind.RELOADED),
+        )
+        pauses = {
+            kind.value: float(max(r.stw_pauses)) for kind, r in results.items()
+        }
+        assert check_ordering(pauses, ["cherivoke", "cornucopia", "reloaded"])

@@ -1,0 +1,94 @@
+"""Unit tests for quarantine buffers and the trigger policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.quarantine import Quarantine, QuarantinePolicy, SealedBatch
+from repro.alloc.snmalloc import FreedRegion
+
+
+def region(addr=0x1000, size=256) -> FreedRegion:
+    return FreedRegion(addr, size, 4)
+
+
+class TestPolicy:
+    def test_quarter_of_total_heap(self):
+        policy = QuarantinePolicy(min_bytes=0)
+        # 1/4 of total heap == 1/3 of allocated (the paper's equivalence).
+        assert policy.limit_bytes(allocated_bytes=300, quarantined_bytes=100) == 100
+
+    def test_minimum_floor_applies(self):
+        policy = QuarantinePolicy(min_bytes=8 << 20)
+        assert policy.limit_bytes(100, 0) == 8 << 20
+
+    def test_trigger_above_limit(self):
+        policy = QuarantinePolicy(min_bytes=1000)
+        assert not policy.should_trigger(0, 1000)
+        assert policy.should_trigger(0, 1001)
+
+    def test_small_heaps_floor_dominated(self):
+        """gobmk/hmmer behaviour (fig. 3): tiny heaps revoke on the floor,
+        not the fraction."""
+        policy = QuarantinePolicy()
+        small_heap = 2 << 20
+        assert policy.limit_bytes(small_heap, 0) == 8 << 20
+
+    def test_block_at_twice_limit(self):
+        policy = QuarantinePolicy(min_bytes=1000, block_multiplier=2.0)
+        assert not policy.should_block(0, 2000)
+        assert policy.should_block(0, 2001)
+
+
+class TestQuarantineBuffers:
+    def test_add_accumulates_pending(self):
+        q = Quarantine()
+        q.add(region(size=100))
+        q.add(region(0x2000, 50))
+        assert q.pending_bytes == 150
+        assert q.total_bytes == 150
+        assert q.lifetime_bytes == 150
+
+    def test_seal_moves_pending_to_batch(self):
+        q = Quarantine()
+        q.add(region(size=100))
+        batch = q.seal(observed_epoch=0)
+        assert q.pending_bytes == 0
+        assert q.sealed_bytes == 100
+        assert batch.observed_epoch == 0
+        assert batch.release_at == 2
+
+    def test_seal_while_revoking_waits_longer(self):
+        q = Quarantine()
+        q.add(region())
+        batch = q.seal(observed_epoch=3)
+        assert batch.release_at == 6
+
+    def test_releasable_respects_epoch(self):
+        q = Quarantine()
+        q.add(region())
+        q.seal(0)
+        assert q.releasable(1) == []
+        ready = q.releasable(2)
+        assert len(ready) == 1
+        assert q.sealed == []
+
+    def test_multiple_batches_release_independently(self):
+        q = Quarantine()
+        q.add(region(0x1000))
+        q.seal(0)  # release at 2
+        q.add(region(0x2000))
+        q.seal(1)  # release at 4
+        assert len(q.releasable(2)) == 1
+        assert len(q.releasable(3)) == 0
+        assert len(q.releasable(4)) == 1
+
+    def test_peak_tracks_high_water(self):
+        q = Quarantine()
+        q.add(region(size=100))
+        q.seal(0)
+        q.add(region(0x2000, 300))
+        assert q.peak_bytes == 400
+        q.releasable(2)
+        q.add(region(0x3000, 10))
+        assert q.peak_bytes == 400

@@ -1,0 +1,302 @@
+"""Unit tests for the discrete-event scheduler and stop-the-world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.machine import Machine
+from repro.machine.scheduler import (
+    Block,
+    Event,
+    ResumeWorld,
+    Sleep,
+    StopWorld,
+    ThreadState,
+)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(memory_bytes=1 << 20)
+
+
+@pytest.fixture
+def sched(machine):
+    return machine.scheduler
+
+
+class TestBasicExecution:
+    def test_single_thread_advances_clock(self, sched):
+        def body():
+            yield 100
+            yield 250
+
+        t = sched.spawn("t", body(), 0)
+        wall = sched.run()
+        assert wall == 350
+        assert t.busy_cycles == 350
+        assert t.state is ThreadState.FINISHED
+
+    def test_threads_on_different_cores_run_in_parallel(self, sched):
+        def body(n):
+            def gen():
+                yield n
+            return gen()
+
+        sched.spawn("a", body(1000)(), 0) if False else None
+        a = sched.spawn("a", (x for x in [1000]), 0)
+        b = sched.spawn("b", (x for x in [400]), 1)
+        wall = sched.run()
+        assert wall == 1000  # parallel, not 1400
+
+    def test_threads_on_same_core_serialize(self, sched):
+        a = sched.spawn("a", (x for x in [1000]), 0)
+        b = sched.spawn("b", (x for x in [400]), 0)
+        wall = sched.run()
+        assert wall == 1400
+
+    def test_negative_yield_rejected(self, sched):
+        sched.spawn("bad", (x for x in [-5]), 0)
+        with pytest.raises(SimulationError):
+            sched.run()
+
+    def test_unsupported_yield_rejected(self, sched):
+        sched.spawn("bad", (x for x in ["nope"]), 0)
+        with pytest.raises(SimulationError):
+            sched.run()
+
+    def test_run_until_subset(self, sched):
+        def daemon():
+            while True:
+                yield 10
+
+        def main():
+            yield 100
+
+        m = sched.spawn("main", main(), 0)
+        sched.spawn("d", daemon(), 1, stops_for_stw=False)
+        sched.run(until=[m])
+        assert m.state is ThreadState.FINISHED
+
+
+class TestSleepAndEvents:
+    def test_sleep_advances_time_without_cpu(self, sched):
+        def body():
+            yield 100
+            yield Sleep(1000)
+            yield 50
+
+        t = sched.spawn("t", body(), 0)
+        wall = sched.run()
+        assert wall == 1150
+        assert t.busy_cycles == 150
+
+    def test_sleeping_thread_lets_others_run(self, sched):
+        order = []
+
+        def sleeper():
+            yield Sleep(1000)
+            order.append(("sleeper", 1000))
+            yield 1
+
+        def worker():
+            yield 300
+            order.append(("worker", 300))
+
+        sched.spawn("s", sleeper(), 0)
+        sched.spawn("w", worker(), 0)
+        sched.run()
+        assert order == [("worker", 300), ("sleeper", 1000)]
+
+    def test_block_until_signal(self, sched):
+        ev = Event("e")
+        result = []
+
+        def waiter():
+            yield Block(ev)
+            result.append("woke")
+            yield 1
+
+        def signaler():
+            yield 500
+            sched.signal(ev, at_time=500)
+
+        sched.spawn("w", waiter(), 0)
+        sched.spawn("s", signaler(), 1)
+        wall = sched.run()
+        assert result == ["woke"]
+        assert wall >= 501
+
+    def test_signal_wakes_all_waiters(self, sched):
+        ev = Event("e")
+        woke = []
+
+        def waiter(name):
+            yield Block(ev)
+            woke.append(name)
+            yield 1
+
+        sched.spawn("a", waiter("a"), 0)
+        sched.spawn("b", waiter("b"), 1)
+
+        def signaler():
+            yield 10
+            sched.signal(ev, at_time=10)
+
+        sched.spawn("s", signaler(), 2)
+        sched.run()
+        assert sorted(woke) == ["a", "b"]
+
+    def test_deadlock_detected(self, sched):
+        ev = Event("never")
+        sched.spawn("w", iter([Block(ev)]), 0)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sched.run()
+
+
+class TestStopTheWorld:
+    def _spin(self, chunks):
+        def body():
+            for c in chunks:
+                yield c
+        return body()
+
+    def test_stw_pauses_user_threads(self, sched):
+        timeline = []
+
+        def app():
+            for _ in range(10):
+                yield 100
+            timeline.append(("app-done", sched.cores[0].time))
+
+        def revoker():
+            yield 150
+            yield StopWorld()
+            yield 5000
+            yield ResumeWorld()
+
+        a = sched.spawn("app", app(), 0)
+        sched.spawn("rev", revoker(), 1, stops_for_stw=False)
+        sched.run(until=[a])
+        assert len(sched.stw_records) == 1
+        rec = sched.stw_records[0]
+        assert rec.duration >= 5000
+        # The app lost at least the pause duration of wall time.
+        assert timeline[0][1] >= 1000 + 5000
+
+    def test_stw_does_not_stop_daemons(self, sched):
+        progressed = []
+
+        def daemon():
+            while True:
+                yield 100
+                progressed.append(sched.cores[2].time)
+
+        def revoker():
+            yield StopWorld()
+            yield 1000
+            yield ResumeWorld()
+
+        def app():
+            for _ in range(50):
+                yield 100
+
+        a = sched.spawn("app", app(), 0)
+        sched.spawn("rev", revoker(), 1, stops_for_stw=False)
+        sched.spawn("d", daemon(), 2, stops_for_stw=False)
+        sched.run(until=[a])
+        assert progressed  # daemon ran during/after the pause
+
+    def test_sleeping_thread_wake_deferred_past_stw(self, sched):
+        wakes = []
+
+        def sleeper():
+            yield Sleep(100)
+            wakes.append(sched.cores[0].time)
+
+        def revoker():
+            yield 50
+            yield StopWorld()
+            yield 10_000
+            yield ResumeWorld()
+
+        s = sched.spawn("s", sleeper(), 0)
+        sched.spawn("rev", revoker(), 1, stops_for_stw=False)
+        sched.run(until=[s])
+        # Wanted to wake at 100, but the world was stopped until >=10050.
+        assert wakes[0] >= 10_050
+
+    def test_nested_stw_rejected(self, sched):
+        def revoker():
+            yield StopWorld()
+            yield StopWorld()
+
+        sched.spawn("rev", revoker(), 0, stops_for_stw=False)
+        with pytest.raises(SimulationError):
+            sched.run()
+
+    def test_resume_without_stop_rejected(self, sched):
+        sched.spawn("rev", iter([ResumeWorld()]), 0, stops_for_stw=False)
+        with pytest.raises(SimulationError):
+            sched.run()
+
+    def test_signal_during_stw_defers_user_wake(self, sched):
+        ev = Event("e")
+        woke_at = []
+
+        def waiter():
+            yield Block(ev)
+            woke_at.append(sched.cores[0].time)
+            yield 1
+
+        def revoker():
+            yield 10
+            yield StopWorld()
+            sched.signal(ev, at_time=sched.cores[1].time)
+            yield 5000
+            yield ResumeWorld()
+
+        w = sched.spawn("w", waiter(), 0)
+        sched.spawn("rev", revoker(), 1, stops_for_stw=False)
+        sched.run(until=[w])
+        assert woke_at[0] >= 5010
+
+    def test_on_stw_hook(self, sched):
+        seen = []
+        sched.on_stw = seen.append
+
+        def revoker():
+            yield StopWorld()
+            yield 100
+            yield ResumeWorld()
+
+        def app():
+            yield 10_000
+
+        a = sched.spawn("app", app(), 0)
+        sched.spawn("rev", revoker(), 1, stops_for_stw=False)
+        sched.run(until=[a])
+        assert len(seen) == 1 and seen[0].duration >= 100
+
+
+class TestQuantumPreemption:
+    def test_round_robin_on_shared_core(self, machine):
+        sched = machine.scheduler
+        for slot in sched.cores:
+            slot.quantum = 100
+        progress = {"a": 0, "b": 0}
+
+        def body(name):
+            for _ in range(10):
+                yield 60
+                progress[name] += 60
+
+        sched.spawn("a", body("a"), 0)
+        sched.spawn("b", body("b"), 0)
+        # Interleave: after a's quantum expires, b should run before a
+        # finishes everything.
+        for _ in range(8):
+            t = sched._pick()
+            sched._step(t)
+        assert progress["a"] > 0 and progress["b"] > 0

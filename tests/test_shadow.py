@@ -1,0 +1,94 @@
+"""Unit and property tests for the revocation (shadow) bitmap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VMError
+from repro.kernel.shadow import RevocationBitmap
+from repro.machine.capability import Capability
+
+
+@pytest.fixture
+def shadow() -> RevocationBitmap:
+    return RevocationBitmap(1 << 20)
+
+
+class TestPainting:
+    def test_paint_marks_whole_region(self, shadow):
+        shadow.paint(0x1000, 256)
+        for off in range(0, 256, 16):
+            assert shadow.is_painted_addr(0x1000 + off)
+
+    def test_neighbours_unpainted(self, shadow):
+        shadow.paint(0x1000, 256)
+        assert not shadow.is_painted_addr(0x1000 - 16)
+        assert not shadow.is_painted_addr(0x1100)
+
+    def test_unpaint_clears(self, shadow):
+        shadow.paint(0x1000, 256)
+        shadow.unpaint(0x1000, 256)
+        assert not shadow.any_painted
+
+    def test_painted_granules_counter(self, shadow):
+        shadow.paint(0x1000, 256)
+        assert shadow.painted_granules == 16
+        shadow.paint(0x1000, 256)  # repaint is idempotent
+        assert shadow.painted_granules == 16
+        shadow.unpaint(0x1000, 256)
+        assert shadow.painted_granules == 0
+
+    def test_unaligned_paint_rejected(self, shadow):
+        with pytest.raises(VMError):
+            shadow.paint(0x1001, 16)
+        with pytest.raises(VMError):
+            shadow.paint(0x1000, 17)
+
+    def test_out_of_range_rejected(self, shadow):
+        with pytest.raises(VMError):
+            shadow.paint(shadow.size_bytes - 16, 64)
+
+
+class TestProbing:
+    def test_probes_base_not_cursor(self, shadow):
+        """§2.2.2 fn. 9: revocation tests the capability *base*, so a
+        cursor pointing elsewhere cannot dodge it."""
+        shadow.paint(0x1000, 256)
+        inside = Capability.root(0x1000, 256)
+        assert shadow.is_revoked(inside)
+        assert shadow.is_revoked(inside.with_address(0x10F0))
+        # A capability whose base is outside the painted region but whose
+        # cursor points into it is NOT revoked (it's a different object).
+        neighbour = Capability.root(0x2000, 0x100).with_address(0x2040)
+        assert not shadow.is_revoked(neighbour)
+
+    def test_derived_capability_caught(self, shadow):
+        """Any capability derived from a painted allocation has its base
+        inside the allocation, hence is revoked."""
+        shadow.paint(0x1000, 256)
+        parent = Capability.root(0x1000, 256)
+        child = parent.derive(0x1050, 32)
+        assert shadow.is_revoked(child)
+
+    @given(
+        start_g=st.integers(0, 1000),
+        len_g=st.integers(1, 64),
+        probe_g=st.integers(0, 1100),
+    )
+    def test_revoked_iff_base_painted(self, start_g, len_g, probe_g):
+        shadow = RevocationBitmap(1 << 20)
+        shadow.paint(start_g * 16, len_g * 16)
+        probe = Capability.root(probe_g * 16, 16)
+        expected = start_g <= probe_g < start_g + len_g
+        assert shadow.is_revoked(probe) == expected
+
+
+class TestShadowAddressing:
+    def test_shadow_span_maps_16_pages_per_line(self, shadow):
+        start, length = shadow.shadow_span(0, 4096)
+        assert start == shadow.shadow_base
+        assert length == 32  # one page -> 32 shadow bytes
+
+    def test_shadow_addresses_beyond_memory(self, shadow):
+        assert shadow.shadow_addr_of_granule(0) >= shadow.size_bytes

@@ -1,0 +1,204 @@
+"""Integration tests for the Simulation orchestrator and AppContext."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import pytest
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.core.config import MachineConfig, RevokerKind, SimulationConfig
+from repro.core.simulation import AppContext, Simulation
+from repro.errors import ConfigError, SimulationError
+from repro.workloads.base import Workload
+
+
+class MiniWorkload(Workload):
+    name = "mini"
+    quarantine_policy = QuarantinePolicy(min_bytes=4096)
+
+    def __init__(self, churn: int = 50) -> None:
+        self.churn = churn
+
+    def run(self, ctx: AppContext) -> Generator:
+        caps = []
+        for i in range(self.churn):
+            cap = yield from ctx.malloc(512)
+            yield from ctx.store_cap(cap.with_address(cap.base), cap)
+            caps.append(cap)
+            if len(caps) > 8:
+                yield from ctx.free(caps.pop(0))
+            loaded = yield from ctx.load_cap(caps[-1].with_address(caps[-1].base))
+            if loaded is not None and loaded.tag:
+                yield from ctx.load_data(loaded, 64)
+            yield from ctx.compute(1000)
+
+
+class TwoThreadWorkload(Workload):
+    name = "two-threads"
+
+    def thread_bodies(self):
+        return [("t0", self._body), ("t1", self._body)]
+
+    def _body(self, ctx: AppContext) -> Generator:
+        cap = yield from ctx.malloc(256)
+        yield from ctx.compute(5000)
+        yield from ctx.free(cap)
+
+
+class TestSimulationLifecycle:
+    def test_run_returns_result(self):
+        result = Simulation(MiniWorkload()).run()
+        assert result.wall_cycles > 0
+        assert result.workload == "mini"
+        assert result.revoker is RevokerKind.RELOADED
+
+    def test_simulation_runs_once(self):
+        sim = Simulation(MiniWorkload())
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_every_strategy_completes(self):
+        for kind in RevokerKind:
+            result = Simulation(
+                MiniWorkload(), SimulationConfig(revoker=kind)
+            ).run()
+            assert result.wall_cycles > 0
+
+    def test_epoch_drained_at_exit(self):
+        sim = Simulation(MiniWorkload(200))
+        sim.run()
+        assert not sim.kernel.epoch.revoking
+
+    def test_multi_thread_placement(self):
+        sim = Simulation(TwoThreadWorkload())
+        result = sim.run()
+        names = {t.name: t.core.index for t in sim.machine.scheduler.threads}
+        assert names["t0"] == 3
+        assert names["t1"] == 2
+
+    def test_too_many_threads_rejected(self):
+        class Many(Workload):
+            name = "many"
+
+            def thread_bodies(self):
+                return [(f"t{i}", self._b) for i in range(9)]
+
+            def _b(self, ctx):
+                yield 1
+
+        with pytest.raises(SimulationError):
+            Simulation(Many()).run()
+
+    def test_invalid_config_rejected(self):
+        cfg = SimulationConfig(app_core=7)
+        with pytest.raises(ConfigError):
+            Simulation(MiniWorkload(), cfg)
+
+    def test_controller_core_respected(self):
+        cfg = SimulationConfig(revoker_core=1)
+        sim = Simulation(MiniWorkload(), cfg)
+        sim.run()
+        names = {t.name: t.core.index for t in sim.machine.scheduler.threads}
+        assert names["mrs-controller"] == 1
+
+
+class TestMetricsCollection:
+    def test_cpu_cycles_by_core_covers_app_and_controller(self):
+        sim = Simulation(MiniWorkload(200))
+        result = sim.run()
+        assert result.cpu_cycles_by_core.get("core3", 0) > 0  # app
+        assert result.cpu_cycles_by_core.get("core2", 0) > 0  # controller
+        assert result.app_cpu_cycles <= result.total_cpu_cycles
+
+    def test_wall_at_least_app_cpu(self):
+        result = Simulation(MiniWorkload()).run()
+        assert result.wall_cycles >= result.app_cpu_cycles
+
+    def test_bus_by_source(self):
+        result = Simulation(MiniWorkload(200)).run()
+        assert result.total_bus_transactions > 0
+        assert "core3" in result.bus_by_source
+
+    def test_revocation_statistics(self):
+        result = Simulation(MiniWorkload(300)).run()
+        assert result.revocations >= 1
+        assert result.sum_freed_bytes > 0
+        assert result.mean_alloc_bytes > 0
+        assert result.epoch_records
+        assert result.pages_swept >= 1
+
+    def test_stw_pauses_recorded_for_reloaded(self):
+        result = Simulation(MiniWorkload(300)).run()
+        assert len(result.stw_pauses) == result.revocations
+
+    def test_peak_rss_positive(self):
+        result = Simulation(MiniWorkload()).run()
+        assert result.peak_rss_bytes > 0
+
+    def test_baseline_has_no_revocation_metrics(self):
+        result = Simulation(
+            MiniWorkload(), SimulationConfig(revoker=RevokerKind.NONE)
+        ).run()
+        assert result.revocations == 0
+        assert result.epoch_records == []
+        assert result.stw_pauses == []
+
+    def test_summary_is_one_line(self):
+        result = Simulation(MiniWorkload()).run()
+        assert "\n" not in result.summary()
+        assert "mini" in result.summary()
+
+
+class TestAppContext:
+    def test_latency_recording(self):
+        class Latency(Workload):
+            name = "lat"
+
+            def run(self, ctx):
+                begin = ctx.now()
+                yield from ctx.compute(500)
+                ctx.record_latency("op", begin, ctx.now())
+
+        sim = Simulation(Latency(), SimulationConfig(revoker=RevokerKind.NONE))
+        result = sim.run()
+        assert len(result.latencies) == 1
+        assert result.latencies[0].cycles >= 500
+
+    def test_idle_advances_wall_not_cpu(self):
+        class Idler(Workload):
+            name = "idler"
+
+            def run(self, ctx):
+                yield from ctx.compute(100)
+                yield from ctx.idle(10_000)
+
+        result = Simulation(Idler(), SimulationConfig(revoker=RevokerKind.NONE)).run()
+        assert result.wall_cycles >= 10_100
+        assert result.app_cpu_cycles < 10_000
+
+    def test_kernel_stash_roundtrip(self):
+        class Stasher(Workload):
+            name = "stash"
+            out = {}
+
+            def run(self, ctx):
+                cap = yield from ctx.malloc(64)
+                t = ctx.stash_in_kernel("aio", cap)
+                Stasher.out["same"] = ctx.retrieve_from_kernel("aio", t) == cap
+
+        Simulation(Stasher(), SimulationConfig(revoker=RevokerKind.NONE)).run()
+        assert Stasher.out["same"]
+
+    def test_machine_config_respected(self):
+        cfg = SimulationConfig(
+            revoker=RevokerKind.NONE,
+            machine=MachineConfig(memory_bytes=8 << 20, num_cores=2, cache_bytes=1 << 16),
+            app_core=1,
+            revoker_core=0,
+        )
+        sim = Simulation(MiniWorkload(), cfg)
+        assert sim.machine.num_cores == 2
+        assert sim.machine.cores[0].cache.capacity_lines == (1 << 16) // 64
+        sim.run()

@@ -1,0 +1,190 @@
+"""Unit and property tests for the snmalloc-style allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.snmalloc import (
+    CHUNK_BYTES,
+    LARGE_THRESHOLD,
+    SIZE_CLASSES,
+    SnMalloc,
+    size_class_of,
+)
+from repro.errors import AllocatorError
+from repro.kernel.kernel import Kernel
+from repro.machine.capability import Capability
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def alloc() -> SnMalloc:
+    return SnMalloc(Kernel(Machine(memory_bytes=64 << 20)))
+
+
+class TestSizeClasses:
+    def test_monotone_nondecreasing(self):
+        assert list(SIZE_CLASSES) == sorted(SIZE_CLASSES)
+
+    def test_all_granule_multiples(self):
+        assert all(sc % 16 == 0 for sc in SIZE_CLASSES)
+
+    def test_small_sizes_map_to_smallest_fit(self):
+        assert SIZE_CLASSES[size_class_of(1)] >= 1
+        assert SIZE_CLASSES[size_class_of(17)] >= 17
+        assert size_class_of(16) == 0
+
+    def test_large_sizes_get_minus_one(self):
+        assert size_class_of(LARGE_THRESHOLD + 1) == -1
+
+    @given(st.integers(1, LARGE_THRESHOLD))
+    def test_class_always_fits(self, n):
+        sc = size_class_of(n)
+        assert sc >= 0
+        assert SIZE_CLASSES[sc] >= n
+        if sc > 0:
+            assert SIZE_CLASSES[sc - 1] < n
+
+
+class TestMallocFree:
+    def test_malloc_returns_bounded_capability(self, alloc):
+        cap, _ = alloc.malloc(100)
+        assert cap.tag
+        assert cap.length >= 100
+        assert cap.length == SIZE_CLASSES[size_class_of(100)]
+
+    def test_distinct_allocations_never_overlap(self, alloc):
+        caps = [alloc.malloc(48)[0] for _ in range(100)]
+        spans = sorted((c.base, c.top) for c in caps)
+        for (b1, t1), (b2, _) in zip(spans, spans[1:]):
+            assert t1 <= b2
+
+    def test_zero_size_rejected(self, alloc):
+        with pytest.raises(AllocatorError):
+            alloc.malloc(0)
+
+    def test_double_free_detected(self, alloc):
+        cap, _ = alloc.malloc(100)
+        alloc.free(cap)
+        with pytest.raises(AllocatorError):
+            alloc.free(cap)
+
+    def test_foreign_pointer_free_detected(self, alloc):
+        with pytest.raises(AllocatorError):
+            alloc.free(Capability.root(0x123450, 16))
+
+    def test_freed_region_reports_rounded_size(self, alloc):
+        cap, _ = alloc.malloc(100)
+        region, _ = alloc.free(cap)
+        assert region.addr == cap.base
+        assert region.size == SIZE_CLASSES[size_class_of(100)]
+
+    def test_no_reuse_before_release(self, alloc):
+        cap, _ = alloc.malloc(100)
+        alloc.free(cap)
+        other, _ = alloc.malloc(100)
+        assert other.base != cap.base
+
+    def test_reuse_after_release(self, alloc):
+        cap, _ = alloc.malloc(100)
+        region, _ = alloc.free(cap)
+        alloc.release(region)
+        again, _ = alloc.malloc(100)
+        assert again.base == cap.base
+
+    def test_reuse_zeroes_stale_tags(self, alloc):
+        """§2.2.2 fn. 7: zeroing is deferred to reuse — then it happens."""
+        cap, _ = alloc.malloc(256)
+        mem = alloc.kernel.machine.memory
+        mem.store_cap(cap.base, cap)  # a capability inside the object
+        region, _ = alloc.free(cap)
+        assert mem.load_cap(cap.base) is not None  # survives free itself
+        alloc.release(region)
+        alloc.malloc(256)
+        assert mem.load_cap(cap.base) is None  # reuse zeroed it
+
+    def test_accounting(self, alloc):
+        a, _ = alloc.malloc(100)
+        b, _ = alloc.malloc(3000)
+        assert alloc.live_allocations == 2
+        assert alloc.allocated_bytes == 128 + 3072
+        alloc.free(a)
+        assert alloc.allocated_bytes == 3072
+        assert alloc.total_freed_bytes == 128
+
+    def test_is_live(self, alloc):
+        cap, _ = alloc.malloc(100)
+        assert alloc.is_live(cap.base)
+        alloc.free(cap)
+        assert not alloc.is_live(cap.base)
+
+
+class TestLargeAllocations:
+    def test_large_gets_own_region(self, alloc):
+        cap, _ = alloc.malloc(LARGE_THRESHOLD + 1)
+        assert cap.length >= LARGE_THRESHOLD + 1
+
+    def test_large_reuse_by_size(self, alloc):
+        cap, _ = alloc.malloc(100_000)
+        region, _ = alloc.free(cap)
+        alloc.release(region)
+        again, _ = alloc.malloc(100_000)
+        assert again.base == cap.base
+
+    def test_large_reuse_zeroes(self, alloc):
+        cap, _ = alloc.malloc(100_000)
+        mem = alloc.kernel.machine.memory
+        mem.store_cap(cap.base + 64, cap)
+        region, _ = alloc.free(cap)
+        alloc.release(region)
+        alloc.malloc(100_000)
+        assert mem.load_cap(cap.base + 64) is None
+
+    def test_mixed_sizes_do_not_interfere(self, alloc):
+        small, _ = alloc.malloc(64)
+        big, _ = alloc.malloc(200_000)
+        assert small.top <= big.base or big.top <= small.base
+
+
+class TestAddressSpaceBehaviour:
+    def test_chunks_requested_on_demand(self, alloc):
+        before = alloc.kernel.address_space.mapped_pages
+        # Exhaust one chunk's worth of 4096-byte slots.
+        for _ in range(CHUNK_BYTES // 4096 + 1):
+            alloc.malloc(4096)
+        assert alloc.kernel.address_space.mapped_pages > before
+
+    def test_address_space_never_returned(self, alloc):
+        caps = [alloc.malloc(1024)[0] for _ in range(64)]
+        mapped = alloc.kernel.address_space.mapped_pages
+        for cap in caps:
+            alloc.release(alloc.free(cap)[0])
+        assert alloc.kernel.address_space.mapped_pages == mapped
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(1, 8192)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_allocator_state_machine(ops):
+    """Random malloc/free interleavings keep the allocator consistent:
+    live allocations never overlap and accounting always balances."""
+    alloc = SnMalloc(Kernel(Machine(memory_bytes=64 << 20)))
+    live: list[Capability] = []
+    for do_free, size in ops:
+        if do_free and live:
+            cap = live.pop()
+            region, _ = alloc.free(cap)
+            alloc.release(region)
+        else:
+            cap, _ = alloc.malloc(size)
+            live.append(cap)
+        spans = sorted((c.base, c.top) for c in live)
+        for (b1, t1), (b2, _) in zip(spans, spans[1:]):
+            assert t1 <= b2
+        assert alloc.live_allocations == len(live)

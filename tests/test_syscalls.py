@@ -1,0 +1,88 @@
+"""Unit tests for the syscall ABI layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VMError
+from repro.kernel.kernel import Kernel
+from repro.kernel.revoker import ReloadedRevoker
+from repro.kernel.syscalls import ShadowGrant, SyscallInterface
+from repro.machine.costs import PAGE_BYTES
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def sys() -> SyscallInterface:
+    return SyscallInterface(Kernel(Machine(memory_bytes=8 << 20)))
+
+
+class TestMapping:
+    def test_mmap_returns_capability(self, sys):
+        cap, res = sys.sys_mmap(PAGE_BYTES)
+        assert cap.tag and cap.length >= PAGE_BYTES
+
+    def test_munmap_guards(self, sys):
+        cap, res = sys.sys_mmap(PAGE_BYTES * 2)
+        sys.sys_munmap(res, cap.base, PAGE_BYTES)
+        assert sys.kernel.machine.pagetable.require(res.start_vpn).guard
+
+
+class TestShadowAccessControl:
+    def test_paint_within_grant(self, sys):
+        heap, _ = sys.sys_mmap(PAGE_BYTES)
+        grant = sys.grant_shadow(heap)
+        painted = sys.sys_paint(grant, heap.base, 64)
+        assert painted == 4
+        assert sys.kernel.shadow.is_painted_addr(heap.base)
+
+    def test_paint_outside_grant_refused(self, sys):
+        heap, _ = sys.sys_mmap(PAGE_BYTES)
+        other, _ = sys.sys_mmap(PAGE_BYTES)
+        grant = sys.grant_shadow(heap)
+        with pytest.raises(VMError):
+            sys.sys_paint(grant, other.base, 64)
+        assert not sys.kernel.shadow.is_painted_addr(other.base)
+
+    def test_forged_grant_refused(self, sys):
+        heap, _ = sys.sys_mmap(PAGE_BYTES)
+        forged = ShadowGrant(heap.base, heap.length)  # never granted
+        with pytest.raises(VMError):
+            sys.sys_paint(forged, heap.base, 64)
+
+    def test_grant_requires_valid_capability(self, sys):
+        heap, _ = sys.sys_mmap(PAGE_BYTES)
+        with pytest.raises(VMError):
+            sys.grant_shadow(heap.cleared())
+
+    def test_unpaint_symmetry(self, sys):
+        heap, _ = sys.sys_mmap(PAGE_BYTES)
+        grant = sys.grant_shadow(heap)
+        sys.sys_paint(grant, heap.base, 64)
+        sys.sys_unpaint(grant, heap.base, 64)
+        assert not sys.kernel.shadow.is_painted_addr(heap.base)
+        with pytest.raises(VMError):
+            sys.sys_unpaint(grant, heap.base - PAGE_BYTES, 64)
+
+
+class TestEpochAndRevoke:
+    def test_epoch_read(self, sys):
+        assert sys.sys_epoch_read() == 0
+
+    def test_revoke_without_revoker_refused(self, sys):
+        core = sys.kernel.machine.cores[0]
+        slot = sys.kernel.machine.scheduler.cores[0]
+        with pytest.raises(VMError):
+            list(sys.sys_revoke(core, slot))
+
+    def test_revoke_runs_full_epoch(self, sys):
+        sys.kernel.install_revoker(ReloadedRevoker)
+        heap, _ = sys.sys_mmap(PAGE_BYTES)
+        core = sys.kernel.machine.cores[0]
+        core.store_cap(heap, heap)
+        sched = sys.kernel.machine.scheduler
+        t = sched.spawn(
+            "rev", sys.sys_revoke(core, sched.cores[0]), 0, stops_for_stw=False
+        )
+        sched.run(until=[t])
+        assert sys.sys_epoch_read() == 2

@@ -1,0 +1,126 @@
+"""Unit tests for the address space: mmap, reservations, guard pages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VMError
+from repro.kernel.vm import AddressSpace, ReservationState
+from repro.machine.costs import PAGE_BYTES
+from repro.machine.machine import Machine
+from repro.machine.trap import PageFault
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(memory_bytes=16 << 20)
+
+
+@pytest.fixture
+def aspace(machine) -> AddressSpace:
+    return AddressSpace(machine)
+
+
+class TestMmap:
+    def test_returns_root_capability(self, aspace):
+        cap, res = aspace.mmap(8192)
+        assert cap.tag
+        assert cap.length >= 8192
+        assert cap.base % PAGE_BYTES == 0
+
+    def test_pages_are_mapped(self, aspace, machine):
+        cap, res = aspace.mmap(8192)
+        for vpn in range(res.start_vpn, res.start_vpn + res.num_pages):
+            assert vpn in machine.pagetable
+
+    def test_non_overlapping(self, aspace):
+        a, _ = aspace.mmap(4096)
+        b, _ = aspace.mmap(4096)
+        assert a.top <= b.base or b.top <= a.base
+
+    def test_representable_padding(self, aspace):
+        # A large region must be padded to its representable length.
+        cap, res = aspace.mmap((1 << 20) + 1)
+        assert cap.length >= (1 << 20) + 1
+        assert res.num_pages * PAGE_BYTES == cap.length
+
+    def test_zero_size_rejected(self, aspace):
+        with pytest.raises(VMError):
+            aspace.mmap(0)
+
+    def test_exhaustion_detected(self, aspace):
+        with pytest.raises(VMError):
+            aspace.mmap(1 << 30)
+
+    def test_new_pages_inherit_current_generation(self, aspace, machine):
+        aspace.current_lg = 1
+        _, res = aspace.mmap(4096)
+        assert machine.pagetable.require(res.start_vpn).lg == 1
+
+    def test_rss_accounting(self, aspace):
+        before = aspace.mapped_pages
+        aspace.mmap(PAGE_BYTES * 3)
+        assert aspace.mapped_pages == before + 3
+        assert aspace.peak_mapped_pages >= aspace.mapped_pages
+        assert aspace.rss_bytes == aspace.mapped_pages * PAGE_BYTES
+
+
+class TestMunmapAndReservations:
+    def test_partial_munmap_leaves_guards(self, aspace, machine):
+        """§6.2: holes become guard pages so later mmaps cannot fill them."""
+        cap, res = aspace.mmap(PAGE_BYTES * 4)
+        aspace.munmap(res, cap.base + PAGE_BYTES, PAGE_BYTES)
+        pte = machine.pagetable.require(res.start_vpn + 1)
+        assert pte.guard
+        assert res.state is ReservationState.ACTIVE
+
+    def test_guarded_page_faults_on_access(self, aspace, machine):
+        cap, res = aspace.mmap(PAGE_BYTES * 2)
+        aspace.munmap(res, cap.base, PAGE_BYTES)
+        with pytest.raises(PageFault):
+            machine.cores[0].load_data(cap, 8)
+
+    def test_full_munmap_quarantines_reservation(self, aspace):
+        cap, res = aspace.mmap(PAGE_BYTES * 2)
+        aspace.munmap(res, cap.base, PAGE_BYTES * 2)
+        assert res.state is ReservationState.QUARANTINED
+
+    def test_double_munmap_rejected(self, aspace):
+        cap, res = aspace.mmap(PAGE_BYTES * 2)
+        aspace.munmap(res, cap.base, PAGE_BYTES)
+        with pytest.raises(VMError):
+            aspace.munmap(res, cap.base, PAGE_BYTES)
+
+    def test_unaligned_munmap_rejected(self, aspace):
+        cap, res = aspace.mmap(PAGE_BYTES * 2)
+        with pytest.raises(VMError):
+            aspace.munmap(res, cap.base + 8, PAGE_BYTES)
+
+    def test_munmap_outside_reservation_rejected(self, aspace):
+        cap, res = aspace.mmap(PAGE_BYTES)
+        with pytest.raises(VMError):
+            aspace.munmap(res, cap.base + PAGE_BYTES, PAGE_BYTES)
+
+    def test_munmap_clears_tags(self, aspace, machine):
+        cap, res = aspace.mmap(PAGE_BYTES)
+        machine.cores[0].store_cap(cap, cap)
+        aspace.munmap(res, cap.base, PAGE_BYTES)
+        assert machine.memory.page_tag_count(res.start_vpn) == 0
+
+    def test_munmap_reduces_rss(self, aspace):
+        cap, res = aspace.mmap(PAGE_BYTES * 4)
+        before = aspace.mapped_pages
+        aspace.munmap(res, cap.base, PAGE_BYTES * 2)
+        assert aspace.mapped_pages == before - 2
+
+    def test_recycle_requires_quarantined(self, aspace):
+        cap, res = aspace.mmap(PAGE_BYTES)
+        with pytest.raises(VMError):
+            aspace.recycle(res)
+
+    def test_recycle_unmaps_ptes(self, aspace, machine):
+        cap, res = aspace.mmap(PAGE_BYTES)
+        aspace.munmap(res, cap.base, PAGE_BYTES)
+        aspace.recycle(res)
+        assert res.start_vpn not in machine.pagetable
+        assert res.state is ReservationState.RECYCLED
