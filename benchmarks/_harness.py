@@ -9,6 +9,13 @@ expensive, so they run once per pytest session in the fixtures below and
 are shared by every figure that reads them (figs. 1-4 all consume the
 same SPEC sweep, exactly as in the paper).
 
+The sweeps submit their (workload x revoker) matrices through
+``repro.runner`` — the parallel campaign engine with content-addressed
+result caching — instead of looping in-process. A second benchmark
+session with unchanged knobs and simulator code is all cache hits; with
+``REPRO_JOBS=1`` (the default) and a cold cache, execution order and
+results are identical to running each experiment serially by hand.
+
 Scaling knobs (environment variables):
 
 - ``REPRO_SPEC_SCALE``   — divisor for SPEC byte quantities (default 256;
@@ -17,6 +24,16 @@ Scaling knobs (environment variables):
 - ``REPRO_PGBENCH_TX``   — pgbench transactions per run (default 1500);
 - ``REPRO_GRPC_SECONDS`` — gRPC QPS measurement duration (default 1.5).
 
+Campaign-runner knobs (see docs/RUNNER.md):
+
+- ``REPRO_JOBS``         — parallel worker processes for the sweeps
+  (default 1 = in-process; 0 = one per CPU);
+- ``REPRO_CACHE_DIR``    — result cache location (default
+  ``~/.cache/repro/results``);
+- ``REPRO_CACHE``        — set to 0 to disable result caching;
+- ``REPRO_JOB_TIMEOUT``  — per-experiment timeout in seconds (pool mode);
+- ``REPRO_PROGRESS``     — set to 1 to stream per-job progress lines.
+
 Each run's regenerated rows/series are printed (run with ``-s`` to see
 them inline) and written to ``benchmarks/results/<name>.txt``.
 """
@@ -24,11 +41,12 @@ them inline) and written to ``benchmarks/results/<name>.txt``.
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
 
-from repro.core.config import RevokerKind, SimulationConfig
-from repro.core.experiment import run_experiment
+from repro.core.config import RevokerKind
 from repro.core.metrics import RunResult
+from repro.runner import Job, ResultCache, WorkloadSpec, run_jobs
 from repro.workloads import spec
 from repro.workloads.grpc_qps import GrpcQpsWorkload
 from repro.workloads.pgbench import PgBenchWorkload
@@ -55,11 +73,37 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def report(name: str, text: str) -> None:
-    """Print a regenerated table/series and persist it."""
+    """Print a regenerated table/series and persist it.
+
+    Safe under concurrent writers (parallel campaign jobs may report
+    simultaneously): the directory create is idempotent and the file
+    lands via a same-directory temp file + atomic ``os.replace``.
+    """
     banner = f"\n===== {name} =====\n"
     print(banner + text + "\n")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=RESULTS_DIR, prefix=f"{name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp, RESULTS_DIR / f"{name}.txt")
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _cache() -> ResultCache | None:
+    if os.environ.get("REPRO_CACHE", "1") == "0":
+        return None
+    return ResultCache()
+
+
+def _sweep(jobs: list[Job]) -> list[RunResult]:
+    """Run one figure sweep through the campaign engine."""
+    return run_jobs(jobs, cache=_cache())
 
 
 SpecResults = dict[tuple[str, str, RevokerKind], RunResult]
@@ -68,37 +112,64 @@ SpecResults = dict[tuple[str, str, RevokerKind], RunResult]
 def compute_spec_results() -> SpecResults:
     """The SPEC CPU2006 sweep: every benchmark input under every
     condition, identical traces per condition (same seed)."""
-    results: SpecResults = {}
-    for bench, inp in SPEC_PAIRS:
-        for kind in CONDITIONS:
-            w = spec.workload(bench, inp, scale=SPEC_SCALE)
-            results[(bench, inp, kind)] = run_experiment(w, kind)
-    return results
+    jobs = [
+        Job(
+            workload=WorkloadSpec(
+                "spec", {"benchmark": bench, "input": inp, "scale": SPEC_SCALE}
+            ),
+            revoker=kind,
+            key=(bench, inp, kind),
+        )
+        for bench, inp in SPEC_PAIRS
+        for kind in CONDITIONS
+    ]
+    results = _sweep(jobs)
+    return {job.key: result for job, result in zip(jobs, results)}
 
 
 def compute_pgbench_results() -> dict[RevokerKind, RunResult]:
     """pgbench under every condition (fig. 5-7's runs)."""
-    results = {}
-    for kind in CONDITIONS:
-        w = PgBenchWorkload(transactions=PGBENCH_TX)
-        results[kind] = run_experiment(w, kind)
-    return results
+    jobs = [
+        Job(
+            workload=WorkloadSpec("pgbench", {"transactions": PGBENCH_TX}),
+            revoker=kind,
+            key=kind,
+        )
+        for kind in CONDITIONS
+    ]
+    results = _sweep(jobs)
+    return {job.key: result for job, result in zip(jobs, results)}
 
 
 def compute_grpc_results() -> dict[RevokerKind, tuple[GrpcQpsWorkload, RunResult]]:
     """gRPC QPS under baseline/Cornucopia/Reloaded (§5.3 cannot run
     CHERIvoke either — the paper hit a bug; we follow its selection)."""
-    results = {}
-    for kind in (
-        RevokerKind.NONE,
-        RevokerKind.PAINT_SYNC,
-        RevokerKind.CORNUCOPIA,
-        RevokerKind.RELOADED,
-    ):
+    jobs = [
+        Job(
+            workload=WorkloadSpec("grpc", {"duration_seconds": GRPC_SECONDS}),
+            revoker=kind,
+            config={"revoker_core": 2},
+            key=kind,
+        )
+        for kind in (
+            RevokerKind.NONE,
+            RevokerKind.PAINT_SYNC,
+            RevokerKind.CORNUCOPIA,
+            RevokerKind.RELOADED,
+        )
+    ]
+    results = _sweep(jobs)
+    out: dict[RevokerKind, tuple[GrpcQpsWorkload, RunResult]] = {}
+    for job, result in zip(jobs, results):
+        # The figures read throughput off the workload object; rebuild it
+        # and restore the completion counters from the run's latency
+        # samples (one sample is recorded per completed request), since
+        # cached/pooled runs executed in another process or session.
         w = GrpcQpsWorkload(duration_seconds=GRPC_SECONDS)
-        cfg = SimulationConfig(revoker=kind, revoker_core=2)
-        results[kind] = (w, run_experiment(w, kind, cfg))
-    return results
+        w.completed = len(result.latencies)
+        w.latencies_cycles = result.latency_cycles()
+        out[job.key] = (w, result)
+    return out
 
 
 def geomean_inputs(

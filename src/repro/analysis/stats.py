@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.errors import StatsError
+
 
 def percentile(values: Sequence[float], p: float) -> float:
     """The ``p``-th percentile (0-100) by linear interpolation.
@@ -19,9 +21,9 @@ def percentile(values: Sequence[float], p: float) -> float:
     with common tooling.
     """
     if not values:
-        raise ValueError("percentile of empty sequence")
+        raise StatsError("percentile of empty sequence")
     if not 0.0 <= p <= 100.0:
-        raise ValueError(f"percentile {p} out of [0, 100]")
+        raise StatsError(f"percentile {p} out of [0, 100]")
     data = sorted(values)
     if len(data) == 1:
         return float(data[0])
@@ -48,9 +50,9 @@ def geomean(values: Sequence[float]) -> float:
     """Geometric mean (the paper aggregates multi-input benchmarks and
     suite-wide overheads geometrically)."""
     if not values:
-        raise ValueError("geomean of empty sequence")
+        raise StatsError("geomean of empty sequence")
     if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
+        raise StatsError("geomean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
@@ -61,7 +63,7 @@ def geomean_overhead(ratios: Sequence[float]) -> float:
 
 def mean(values: Sequence[float]) -> float:
     if not values:
-        raise ValueError("mean of empty sequence")
+        raise StatsError("mean of empty sequence")
     return sum(values) / len(values)
 
 
@@ -106,6 +108,8 @@ class BoxStats:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "BoxStats":
+        if not values:
+            raise StatsError("BoxStats of empty sequence")
         return cls(
             minimum=min(values),
             q1=percentile(values, 25),

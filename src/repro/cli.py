@@ -6,6 +6,7 @@ Commands:
 - ``compare``  one workload under every strategy, print the overhead table;
 - ``attack``   the adversarial UAF scenario per strategy (the security demo);
 - ``pgbench``  the interactive-latency percentiles per strategy;
+- ``campaign`` a declarative experiment campaign (parallel + cached);
 - ``trace``    synthesize, inspect, or replay allocation traces;
 - ``list``     the available workloads and strategies.
 """
@@ -36,14 +37,46 @@ from repro.workloads.pgbench import PgBenchWorkload
 
 
 def _kind(name: str) -> RevokerKind:
+    """argparse type for strategy arguments: converts to RevokerKind,
+    routing bad names through ``parser.error`` (consistent exit code 2
+    and usage text) via ArgumentTypeError."""
     try:
         return RevokerKind(name)
     except ValueError:
         valid = ", ".join(k.value for k in RevokerKind)
-        raise SystemExit(f"unknown strategy {name!r}; choose from: {valid}")
+        raise argparse.ArgumentTypeError(
+            f"unknown strategy {name!r}; choose from: {valid}"
+        ) from None
+
+
+def _check_workload_name(name: str) -> str:
+    """Validate a workload name, with the catalog in the message.
+
+    Runs post-parse (inside :func:`_workload`) rather than as an
+    argparse type so that programmatic ``main([...])`` callers get a
+    return code instead of ``SystemExit``; the exit code (2) matches
+    argparse's either way.
+    """
+    from repro.errors import ConfigError
+
+    if name in ("pgbench", "grpc"):
+        return name
+    bench, _, inp = name.partition(".")
+    try:
+        inputs = spec.inputs_of(bench)
+    except ConfigError:
+        raise ConfigError(
+            f"unknown workload {name!r} (run 'repro list' for the catalog)"
+        ) from None
+    if inp and inp not in inputs:
+        raise ConfigError(
+            f"unknown input {inp!r} for {bench}; choose from: {', '.join(inputs)}"
+        ) from None
+    return name
 
 
 def _workload(name: str, scale: int, transactions: int, seconds: float) -> Workload:
+    _check_workload_name(name)
     if name == "pgbench":
         return PgBenchWorkload(transactions=transactions)
     if name == "grpc":
@@ -75,7 +108,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     workload = _workload(args.workload, args.scale, args.transactions, args.seconds)
-    result = run_experiment(workload, _kind(args.revoker))
+    result = run_experiment(workload, args.revoker)
     print(result.summary())
     if result.stw_pauses:
         print(f"pauses: n={len(result.stw_pauses)} "
@@ -210,6 +243,68 @@ def cmd_verify_paper(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a declarative campaign spec through the parallel cached
+    runner (docs/RUNNER.md documents the spec format)."""
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.machine.costs import cycles_to_seconds
+    from repro.runner import CampaignProgress, CampaignSpec, ResultCache, run_jobs
+
+    try:
+        data = json.loads(Path(args.spec).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read campaign spec: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"campaign spec is not valid JSON: {exc}") from exc
+    campaign = CampaignSpec.from_dict(data)
+    jobs = campaign.expand()
+
+    if args.dry_run:
+        for job in jobs:
+            print(job.describe())
+        print(f"{len(jobs)} jobs")
+        return 0
+
+    max_workers = args.jobs
+    if max_workers == 0:
+        max_workers = os.cpu_count() or 1
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    echo = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    progress = CampaignProgress(len(jobs), echo=echo)
+    results = run_jobs(
+        jobs,
+        max_workers=max_workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        progress=progress,
+    )
+
+    rows = []
+    for job, r in zip(jobs, results):
+        pause = cycles_to_micros(max(r.stw_pauses)) if r.stw_pauses else 0.0
+        rows.append([
+            job.describe(),
+            f"{r.wall_seconds:.3f}",
+            f"{cycles_to_seconds(r.total_cpu_cycles):.3f}",
+            r.total_bus_transactions,
+            r.peak_rss_bytes >> 20,
+            r.revocations,
+            f"{pause:.1f}us",
+        ])
+    print(format_table(
+        ["job", "wall s", "cpu s", "bus", "rss MiB", "revocations", "max pause"],
+        rows,
+        title=f"campaign {campaign.name!r}: {len(jobs)} jobs",
+    ))
+    print(progress.summary())
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.workloads.trace import AllocationTrace, TraceWorkload, synthesize_trace
 
@@ -228,7 +323,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_cmd == "replay":
         trace = AllocationTrace.load(args.path)
         workload = TraceWorkload(trace)
-        result = run_experiment(workload, _kind(args.revoker))
+        result = run_experiment(workload, args.revoker)
         print(result.summary())
         print(f"replayed {workload.replayed_events} events, "
               f"{workload.stale_loads} capability loads hit empty or revoked slots")
@@ -257,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one workload under one strategy")
     p.add_argument("workload")
-    p.add_argument("revoker", nargs="?", default="reloaded")
+    p.add_argument("revoker", nargs="?", default="reloaded", type=_kind)
     common(p)
     p.set_defaults(fn=cmd_run)
 
@@ -279,6 +374,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=int, default=512)
     p.set_defaults(fn=cmd_verify_paper)
 
+    p = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment campaign (parallel, cached)",
+    )
+    p.add_argument("spec", help="campaign spec JSON file (see docs/RUNNER.md)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: $REPRO_JOBS or 1; 0 = all CPUs)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro/results)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-simulate everything, do not read or write the cache")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds (pool mode)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the expanded job matrix and exit")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+    p.set_defaults(fn=cmd_campaign)
+
     p = sub.add_parser("trace", help="allocation trace tools")
     tsub = p.add_subparsers(dest="trace_cmd", required=True)
     ps = tsub.add_parser("synth", help="synthesize a random trace")
@@ -290,9 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("path")
     pr = tsub.add_parser("replay", help="replay a trace under a strategy")
     pr.add_argument("path")
-    pr.add_argument("revoker", nargs="?", default="reloaded")
-    for x in (ps, pt, pr):
-        pass
+    pr.add_argument("revoker", nargs="?", default="reloaded", type=_kind)
     p.set_defaults(fn=cmd_trace)
 
     return parser

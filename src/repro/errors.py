@@ -40,6 +40,15 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent internal state (a bug)."""
 
 
+class StatsError(ReproError, ValueError):
+    """A statistics helper was fed invalid input (empty sequence,
+    out-of-range percentile, non-positive geomean operand).
+
+    Also a :class:`ValueError` so callers treating these as plain domain
+    errors keep working.
+    """
+
+
 class ArchitecturalTrap(ReproError):
     """Base class for traps the simulated CPU delivers to the kernel.
 

@@ -1,0 +1,112 @@
+"""``repro.runner`` — the parallel, cached experiment campaign engine.
+
+The benchmark harness, the ``python -m repro campaign`` CLI, and any
+future sweep all submit work the same way: describe jobs declaratively
+(:class:`~repro.runner.campaign.Job` /
+:class:`~repro.runner.campaign.CampaignSpec`), then hand them to
+:func:`run_jobs` or :func:`run_campaign`. The engine takes care of
+
+- **caching** — content-addressed on-disk results keyed by workload
+  spec, config, and simulator code version (:mod:`repro.runner.cache`);
+- **parallelism** — a fault-tolerant worker pool with per-job timeouts
+  and graceful in-process fallback (:mod:`repro.runner.pool`);
+- **determinism** — jobs carry explicit seeds and run one-workload-per-
+  process, so pooled, cached, and serial execution agree byte-for-byte
+  (:mod:`repro.runner.serialize` round-trips losslessly);
+- **visibility** — per-job progress, ETA, and the cache hit/fresh
+  summary (:mod:`repro.runner.progress`).
+
+See docs/RUNNER.md for the campaign spec format and cache layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.metrics import RunResult
+from repro.runner.cache import (
+    ResultCache,
+    code_fingerprint,
+    default_cache_dir,
+    job_fingerprint,
+)
+from repro.runner.campaign import (
+    CampaignSpec,
+    Job,
+    WorkloadSpec,
+    build_config,
+    execute_job,
+    register_workload,
+    registered_workloads,
+    stable_seed,
+)
+from repro.runner.pool import (
+    CampaignJobError,
+    default_max_workers,
+    default_timeout_s,
+    run_jobs,
+)
+from repro.runner.progress import CampaignProgress, env_echo
+
+__all__ = [
+    "CampaignJobError",
+    "CampaignProgress",
+    "CampaignResult",
+    "CampaignSpec",
+    "Job",
+    "ResultCache",
+    "WorkloadSpec",
+    "build_config",
+    "code_fingerprint",
+    "default_cache_dir",
+    "default_max_workers",
+    "default_timeout_s",
+    "env_echo",
+    "execute_job",
+    "job_fingerprint",
+    "register_workload",
+    "registered_workloads",
+    "run_campaign",
+    "run_jobs",
+    "stable_seed",
+]
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: jobs, their results, and the run stats."""
+
+    spec: CampaignSpec
+    jobs: list[Job]
+    results: list[RunResult]
+    progress: CampaignProgress
+
+    def by_key(self) -> dict[Any, RunResult]:
+        """Results keyed by each job's ``key``."""
+        return {job.key: result for job, result in zip(self.jobs, self.results)}
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+    timeout_s: float | None = None,
+    progress: CampaignProgress | None = None,
+) -> CampaignResult:
+    """Expand a campaign spec and execute its full job matrix."""
+    jobs = spec.expand()
+    if progress is None:
+        progress = CampaignProgress(len(jobs), echo=env_echo())
+    results = run_jobs(
+        jobs,
+        max_workers=max_workers,
+        cache=cache,
+        timeout_s=timeout_s,
+        progress=progress,
+    )
+    return CampaignResult(spec=spec, jobs=jobs, results=results, progress=progress)

@@ -1,0 +1,155 @@
+"""Content-addressed on-disk result cache.
+
+A job's **fingerprint** is a SHA-256 over the canonical JSON of
+everything that determines its :class:`RunResult`:
+
+- the workload spec (builder kind + every parameter — the harness's
+  scale/transaction/duration env knobs land here);
+- the revocation strategy and the declarative config overrides;
+- the serialized-result ``FORMAT_VERSION``;
+- a **code fingerprint**: a digest of every simulation-relevant source
+  file of the installed ``repro`` package (core, machine, kernel, alloc,
+  workloads, extensions — everything except the runner itself and the
+  presentation layers). Touch the simulator and every cached result
+  silently invalidates; touch only the analysis code and the cache
+  stays warm.
+
+Entries are one JSON file each under ``<root>/objects/<aa>/<hash>.json``
+(first byte of the fingerprint as a fan-out directory). Writes go
+through a same-directory temp file and ``os.replace`` so concurrent
+campaign processes can share one cache without torn reads.
+
+The default root is ``$REPRO_CACHE_DIR``, else
+``~/.cache/repro/results``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable
+
+import repro
+from repro.core.metrics import RunResult
+from repro.runner.campaign import Job
+from repro.runner.serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    canonical_json,
+    result_from_dict,
+    result_to_dict,
+)
+
+#: Package sub-trees whose source does not influence simulation results.
+_NON_SIMULATION_PARTS = ("runner", "analysis", "cli.py", "__main__.py")
+
+_code_fingerprint_cache: str | None = None
+
+
+def _simulation_sources(root: Path) -> Iterable[Path]:
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if not any(
+            rel == part or rel.startswith(part + "/")
+            for part in _NON_SIMULATION_PARTS
+        ):
+            yield path
+
+
+def code_fingerprint() -> str:
+    """Digest of the simulation-relevant ``repro`` sources (cached per
+    process; the package does not change under a running campaign)."""
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in _simulation_sources(root):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint_cache = digest.hexdigest()
+    return _code_fingerprint_cache
+
+
+def job_fingerprint(job: Job, code_version: str | None = None) -> str:
+    """The content address of one job's result."""
+    material = {
+        "format": FORMAT_VERSION,
+        "code": code_version if code_version is not None else code_fingerprint(),
+        "job": job.to_dict(),
+    }
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+class ResultCache:
+    """Content-addressed store of serialized :class:`RunResult`\\ s."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path_of(self, fingerprint: str) -> Path:
+        return self.root / "objects" / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        """The cached result, or None on miss. Corrupt entries (torn
+        writes from dead processes, stale schema) count as misses and
+        are removed."""
+        path = self._path_of(fingerprint)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(text)
+            if envelope.get("fingerprint") != fingerprint:
+                raise SerializationError("fingerprint mismatch")
+            return result_from_dict(envelope)
+        except (SerializationError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, fingerprint: str, result: RunResult, job: Job | None = None) -> Path:
+        """Atomically persist a result under its fingerprint."""
+        path = self._path_of(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope: dict[str, Any] = result_to_dict(result)
+        envelope["fingerprint"] = fingerprint
+        if job is not None:
+            envelope["job"] = job.to_dict()
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(canonical_json(envelope))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path_of(fingerprint).exists()
+
+    def entries(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))

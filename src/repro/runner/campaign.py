@@ -1,0 +1,261 @@
+"""Declarative experiment campaigns.
+
+A campaign is a condition matrix — workloads x revocation strategies x
+seeds — expanded into independent :class:`Job`\\ s. Jobs are plain data
+(JSON-able, picklable), so they can be fingerprinted for the result
+cache, shipped to pool workers, or written down in a campaign spec file
+and replayed later. Workloads are *described*, not constructed: a
+:class:`WorkloadSpec` names a registered builder plus its keyword
+parameters, and each executing process builds its own fresh workload
+object (workloads are stateful; one per run).
+
+The built-in builders cover the paper's evaluation workloads:
+
+- ``spec``     — :func:`repro.workloads.spec.workload` (params:
+  ``benchmark``, ``input``, ``scale``, ``seed``);
+- ``pgbench``  — :class:`repro.workloads.pgbench.PgBenchWorkload`
+  (params: ``transactions``, ``rate_tps``, ``scale``, ``seed``);
+- ``grpc``     — :class:`repro.workloads.grpc_qps.GrpcQpsWorkload`
+  (params: ``duration_seconds``, ``scale``, ``seed``).
+
+Extensions register more with :func:`register_workload`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.experiment import run_experiment
+from repro.core.metrics import RunResult
+from repro.errors import ConfigError
+from repro.runner.serialize import canonical_json
+from repro.workloads.base import Workload
+
+#: Builds a fresh workload from a spec's keyword parameters.
+WorkloadBuilder = Callable[..., Workload]
+
+_BUILDERS: dict[str, WorkloadBuilder] = {}
+
+
+def register_workload(kind: str, builder: WorkloadBuilder) -> None:
+    """Register (or replace) a workload builder under ``kind``."""
+    _BUILDERS[kind] = builder
+
+
+def registered_workloads() -> tuple[str, ...]:
+    return tuple(sorted(_BUILDERS))
+
+
+def _build_spec(**params: Any) -> Workload:
+    from repro.workloads import spec
+
+    return spec.workload(**params)
+
+
+def _build_pgbench(**params: Any) -> Workload:
+    from repro.workloads.pgbench import PgBenchWorkload
+
+    return PgBenchWorkload(**params)
+
+
+def _build_grpc(**params: Any) -> Workload:
+    from repro.workloads.grpc_qps import GrpcQpsWorkload
+
+    return GrpcQpsWorkload(**params)
+
+
+register_workload("spec", _build_spec)
+register_workload("pgbench", _build_pgbench)
+register_workload("grpc", _build_grpc)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative workload description: builder kind + parameters."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Workload:
+        builder = _BUILDERS.get(self.kind)
+        if builder is None:
+            known = ", ".join(registered_workloads())
+            raise ConfigError(
+                f"unknown workload kind {self.kind!r}; registered: {known}"
+            )
+        try:
+            return builder(**dict(self.params))
+        except TypeError as exc:
+            raise ConfigError(
+                f"bad parameters for workload kind {self.kind!r}: {exc}"
+            ) from exc
+
+    def with_params(self, **updates: Any) -> "WorkloadSpec":
+        merged = dict(self.params)
+        merged.update(updates)
+        return WorkloadSpec(self.kind, merged)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent experiment: a workload under one strategy.
+
+    ``config`` holds declarative :class:`SimulationConfig` overrides —
+    top-level scalar fields (``app_core``, ``revoker_core``) plus the
+    nested ``machine`` and ``policy`` sub-dicts. ``key`` is an opaque
+    caller-side identity used to map results back (e.g. the harness's
+    ``(bench, input, kind)`` tuples); it does not affect execution or
+    fingerprints.
+    """
+
+    workload: WorkloadSpec
+    revoker: RevokerKind
+    config: Mapping[str, Any] = field(default_factory=dict)
+    key: Any = None
+
+    def describe(self) -> str:
+        params = ",".join(f"{k}={v}" for k, v in sorted(self.workload.params.items()))
+        return f"{self.workload.kind}({params})/{self.revoker.value}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Execution-relevant identity (``key`` deliberately excluded)."""
+        return {
+            "workload": self.workload.to_dict(),
+            "revoker": self.revoker.value,
+            "config": dict(self.config),
+        }
+
+
+def build_config(job: Job) -> SimulationConfig:
+    """Materialize a job's :class:`SimulationConfig` from its overrides."""
+    from repro.alloc.quarantine import QuarantinePolicy
+
+    cfg = SimulationConfig(revoker=job.revoker)
+    for name, value in job.config.items():
+        if name == "machine":
+            for mfield, mvalue in value.items():
+                if not hasattr(cfg.machine, mfield) or mfield == "costs":
+                    raise ConfigError(f"unknown machine override {mfield!r}")
+                setattr(cfg.machine, mfield, mvalue)
+        elif name == "policy":
+            try:
+                cfg.policy = QuarantinePolicy(**value)
+            except TypeError as exc:
+                raise ConfigError(f"bad policy override: {exc}") from exc
+        elif name in ("app_core", "revoker_core"):
+            setattr(cfg, name, value)
+        else:
+            raise ConfigError(f"unknown config override {name!r}")
+    cfg.validate()
+    return cfg
+
+
+def execute_job(job: Job) -> RunResult:
+    """Run one job to completion in this process (the pure function pool
+    workers and the in-process fallback both call)."""
+    workload = job.workload.build()
+    return run_experiment(workload, job.revoker, build_config(job))
+
+
+def stable_seed(*parts: Any, bits: int = 48) -> int:
+    """A deterministic seed derived from arbitrary JSON-able parts.
+
+    Independent of ``PYTHONHASHSEED`` and stable across processes and
+    sessions, so replicate seeds derived during campaign expansion are
+    reproducible.
+    """
+    digest = hashlib.blake2b(
+        canonical_json(list(parts)).encode(), digest_size=bits // 8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative condition matrix.
+
+    ``seeds`` lists explicit workload seeds (each is injected as the
+    ``seed`` parameter of every workload); ``None`` keeps each
+    workload's built-in default seed. ``replicates`` instead derives
+    that many deterministic per-job seeds via :func:`stable_seed`.
+    """
+
+    name: str
+    workloads: Sequence[WorkloadSpec]
+    revokers: Sequence[RevokerKind]
+    seeds: Sequence[int] | None = None
+    replicates: int | None = None
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seeds is not None and self.replicates is not None:
+            raise ConfigError("campaign: give seeds or replicates, not both")
+        if self.replicates is not None and self.replicates < 1:
+            raise ConfigError("campaign: replicates must be >= 1")
+        if not self.workloads:
+            raise ConfigError("campaign: no workloads")
+        if not self.revokers:
+            raise ConfigError("campaign: no revokers")
+
+    def _seeds_for(self, workload: WorkloadSpec, revoker: RevokerKind) -> list[int | None]:
+        if self.seeds is not None:
+            return list(self.seeds)
+        if self.replicates is not None:
+            return [
+                stable_seed(self.name, workload.to_dict(), revoker.value, i)
+                for i in range(self.replicates)
+            ]
+        return [None]
+
+    def expand(self) -> list[Job]:
+        """The full job matrix, in deterministic workload-major order.
+
+        Each job's ``key`` is ``(workload_index, revoker, seed)``.
+        """
+        jobs: list[Job] = []
+        for index, workload in enumerate(self.workloads):
+            for revoker in self.revokers:
+                for seed in self._seeds_for(workload, revoker):
+                    spec = workload if seed is None else workload.with_params(seed=seed)
+                    jobs.append(
+                        Job(
+                            workload=spec,
+                            revoker=revoker,
+                            config=dict(self.config),
+                            key=(index, revoker, seed),
+                        )
+                    )
+        return jobs
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Parse the JSON campaign-spec format (see docs/RUNNER.md)."""
+        try:
+            workloads = [
+                WorkloadSpec(w["kind"], dict(w.get("params", {})))
+                for w in data["workloads"]
+            ]
+            revokers = [RevokerKind(r) for r in data["revokers"]]
+        except KeyError as exc:
+            raise ConfigError(f"campaign spec missing field: {exc}") from exc
+        except ValueError as exc:
+            raise ConfigError(f"campaign spec: {exc}") from exc
+        unknown = set(data) - {
+            "name", "workloads", "revokers", "seeds", "replicates", "config",
+        }
+        if unknown:
+            raise ConfigError(f"campaign spec: unknown fields {sorted(unknown)}")
+        return cls(
+            name=str(data.get("name", "campaign")),
+            workloads=workloads,
+            revokers=revokers,
+            seeds=data.get("seeds"),
+            replicates=data.get("replicates"),
+            config=dict(data.get("config", {})),
+        )

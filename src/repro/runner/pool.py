@@ -1,0 +1,302 @@
+"""Parallel job execution: a process-per-job pool with timeouts, retry,
+and cache integration.
+
+Simulation jobs are seconds-to-minutes of pure Python, so the pool runs
+each job in its own ``multiprocessing`` process (fork-started where
+available) under a bounded concurrency limit instead of reusing long-
+lived workers — that is what makes real per-job timeouts (terminate the
+process) and crash detection (exit code without a result) simple and
+reliable. Results cross the process boundary as serialized envelopes
+(:mod:`repro.runner.serialize`), the same representation the cache
+stores, so pooled, cached, and in-process execution are interchangeable
+bit-for-bit.
+
+Fault policy:
+
+- a **crashed** worker (killed, segfaulted, exited without reporting)
+  or a **timed-out** job is retried once in a fresh process; a second
+  failure raises :class:`CampaignJobError`;
+- a job that raises an ordinary Python exception is *not* retried — the
+  simulation is deterministic, so the retry would fail identically —
+  and the error is re-raised as :class:`CampaignJobError` carrying the
+  worker's traceback;
+- if worker processes cannot be started at all (no ``fork``/``spawn``,
+  sandboxed CI, ``REPRO_JOBS=1``), execution falls back to the plain
+  in-process loop, which has no extra failure modes.
+
+Environment knobs: ``REPRO_JOBS`` (worker count; ``0`` = CPU count;
+default ``1`` = in-process) and ``REPRO_JOB_TIMEOUT`` (seconds per job;
+default: none).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Sequence
+
+from repro.core.metrics import RunResult
+from repro.errors import ConfigError, ReproError
+from repro.runner.cache import ResultCache, job_fingerprint
+from repro.runner.campaign import Job, execute_job
+from repro.runner.progress import CampaignProgress, env_echo
+from repro.runner.serialize import result_from_dict, result_to_dict
+
+
+class CampaignJobError(ReproError):
+    """A campaign job failed (worker exception, repeated crash, or
+    repeated timeout)."""
+
+
+def default_max_workers() -> int:
+    """Worker count from ``REPRO_JOBS`` (0 = all CPUs; default 1)."""
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_JOBS={raw!r} is not an integer") from None
+    if n < 0:
+        raise ConfigError(f"REPRO_JOBS must be >= 0, got {n}")
+    return n if n > 0 else (os.cpu_count() or 1)
+
+
+def default_timeout_s() -> float | None:
+    raw = os.environ.get("REPRO_JOB_TIMEOUT")
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_JOB_TIMEOUT={raw!r} is not a number") from None
+    return value if value > 0 else None
+
+
+def _mp_context():
+    """Prefer fork (inherits runtime-registered workload kinds); fall
+    back to the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _pool_worker(job: Job, conn: Connection) -> None:
+    """Worker-process entry: run the job, ship the serialized result."""
+    try:
+        envelope = result_to_dict(execute_job(job))
+        conn.send(("ok", envelope))
+    except BaseException as exc:  # report *everything* before dying
+        conn.send(("err", type(exc).__name__, str(exc), traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    index: int
+    job: Job
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    deadline: float | None
+    started: float
+    attempt: int
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+    timeout_s: float | None = None,
+    progress: CampaignProgress | None = None,
+) -> list[RunResult]:
+    """Execute every job; returns results aligned with ``jobs``.
+
+    Cache hits are satisfied without executing anything; fresh results
+    are written back under their fingerprint. With ``max_workers=1`` the
+    whole batch runs in-process, byte-identical to calling
+    :func:`~repro.runner.campaign.execute_job` in a loop.
+    """
+    if max_workers is None:
+        max_workers = default_max_workers()
+    if timeout_s is None:
+        timeout_s = default_timeout_s()
+    if progress is None:
+        progress = CampaignProgress(len(jobs), echo=env_echo())
+
+    results: list[RunResult | None] = [None] * len(jobs)
+    fingerprints: list[str | None] = [None] * len(jobs)
+    pending: list[int] = []
+
+    for i, job in enumerate(jobs):
+        if cache is not None:
+            fingerprints[i] = job_fingerprint(job)
+            hit = cache.get(fingerprints[i])
+            if hit is not None:
+                results[i] = hit
+                progress.job_finished(job.describe(), cached=True, elapsed=0.0)
+                continue
+        pending.append(i)
+
+    def finish_fresh(i: int, result: RunResult, elapsed: float) -> None:
+        results[i] = result
+        if cache is not None and fingerprints[i] is not None:
+            cache.put(fingerprints[i], result, job=jobs[i])
+        progress.job_finished(jobs[i].describe(), cached=False, elapsed=elapsed)
+
+    if pending and max_workers > 1:
+        pending = _run_pooled(
+            jobs, pending, max_workers, timeout_s, progress, finish_fresh
+        )
+
+    # In-process path: REPRO_JOBS=1, pool unavailable, or pool leftovers.
+    for i in pending:
+        began = time.monotonic()
+        finish_fresh(i, execute_job(jobs[i]), time.monotonic() - began)
+
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def _run_pooled(
+    jobs: Sequence[Job],
+    pending: list[int],
+    max_workers: int,
+    timeout_s: float | None,
+    progress: CampaignProgress,
+    finish_fresh,
+) -> list[int]:
+    """Drain ``pending`` through worker processes.
+
+    Returns indices that should run in-process instead (pool could not
+    start at all); raises :class:`CampaignJobError` on job failure.
+    """
+    ctx = _mp_context()
+    queue = list(pending)
+    running: dict[int, _Running] = {}
+
+    def launch(index: int, attempt: int) -> bool:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_pool_worker, args=(jobs[index], child_conn), daemon=True
+        )
+        try:
+            process.start()
+        except OSError:
+            parent_conn.close()
+            child_conn.close()
+            return False
+        child_conn.close()
+        now = time.monotonic()
+        running[index] = _Running(
+            index=index,
+            job=jobs[index],
+            process=process,
+            conn=parent_conn,
+            deadline=(now + timeout_s) if timeout_s else None,
+            started=now,
+            attempt=attempt,
+        )
+        return True
+
+    def reap(entry: _Running) -> None:
+        entry.conn.close()
+        entry.process.join(timeout=5)
+        if entry.process.is_alive():  # pragma: no cover - stuck worker
+            entry.process.kill()
+            entry.process.join()
+
+    def abort_all() -> None:
+        for entry in running.values():
+            entry.process.terminate()
+            reap(entry)
+        running.clear()
+
+    def crash_or_retry(entry: _Running, reason: str) -> None:
+        del running[entry.index]
+        reap(entry)
+        if entry.attempt == 0:
+            progress.job_retried(entry.job.describe(), reason)
+            if not launch(entry.index, attempt=1):  # pragma: no cover
+                queue.append(entry.index)
+        else:
+            progress.job_failed(entry.job.describe(), reason)
+            abort_all()
+            raise CampaignJobError(
+                f"job {entry.job.describe()} failed twice: {reason}"
+            )
+
+    try:
+        while queue or running:
+            while queue and len(running) < max_workers:
+                index = queue.pop(0)
+                if not launch(index, attempt=0):
+                    # Cannot start processes here: hand everything still
+                    # unstarted back to the in-process loop.
+                    leftovers = [index] + queue
+                    queue.clear()
+                    while running:
+                        _wait_one(running, progress, finish_fresh, crash_or_retry)
+                    return leftovers
+            _wait_one(running, progress, finish_fresh, crash_or_retry)
+    except BaseException:
+        abort_all()
+        raise
+    return []
+
+
+def _wait_one(
+    running: dict[int, _Running],
+    progress: CampaignProgress,
+    finish_fresh,
+    crash_or_retry,
+) -> None:
+    """Block briefly; settle every worker that finished, crashed, or
+    timed out."""
+    if not running:
+        return
+    now = time.monotonic()
+    wait_for = 0.25
+    for entry in running.values():
+        if entry.deadline is not None:
+            wait_for = min(wait_for, max(0.0, entry.deadline - now))
+    ready = connection_wait([e.conn for e in running.values()], timeout=wait_for)
+    ready_set = set(ready)
+    now = time.monotonic()
+    for entry in list(running.values()):
+        if entry.conn in ready_set:
+            try:
+                message = entry.conn.recv()
+            except EOFError:
+                # Pipe closed with nothing sent: the worker died.
+                entry.process.join(timeout=5)
+                crash_or_retry(
+                    entry, f"worker exited (code {entry.process.exitcode})"
+                )
+                continue
+            del running[entry.index]
+            reaped = entry
+            reaped.conn.close()
+            reaped.process.join()
+            if message[0] == "ok":
+                finish_fresh(
+                    entry.index,
+                    result_from_dict(message[1]),
+                    now - entry.started,
+                )
+            else:
+                _, name, text, trace = message
+                progress.job_failed(entry.job.describe(), f"{name}: {text}")
+                raise CampaignJobError(
+                    f"job {entry.job.describe()} raised {name}: {text}\n{trace}"
+                )
+        elif entry.deadline is not None and now >= entry.deadline:
+            entry.process.terminate()
+            crash_or_retry(entry, f"timeout after {now - entry.started:.1f}s")
+        elif entry.process.exitcode is not None and not entry.conn.poll():
+            crash_or_retry(
+                entry, f"worker exited (code {entry.process.exitcode})"
+            )

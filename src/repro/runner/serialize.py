@@ -1,0 +1,116 @@
+"""Lossless JSON serialization for run results and configurations.
+
+The campaign runner needs two representations:
+
+- **results** (:class:`~repro.core.metrics.RunResult` and its nested
+  :class:`~repro.core.metrics.LatencySample` /
+  :class:`~repro.kernel.revoker.base.EpochRecord` /
+  :class:`~repro.kernel.revoker.base.PhaseSample` records) round-trip
+  through JSON so the on-disk cache and pool workers can hand results
+  across process boundaries without losing a field — deserialized
+  results compare ``==`` to the originals;
+- **configurations** (:class:`~repro.core.config.SimulationConfig` with
+  its nested machine shape, cost model, and quarantine policy) flatten
+  to plain JSON-able dicts so cache fingerprints can cover every knob.
+
+``FORMAT_VERSION`` is stamped into every serialized result and mixed
+into cache fingerprints: bump it whenever the :class:`RunResult` schema
+changes shape, and every stale cache entry invalidates itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping
+
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.metrics import LatencySample, RunResult
+from repro.errors import ReproError
+from repro.kernel.revoker.base import EpochRecord, PhaseSample
+
+#: Schema version of the serialized result envelope.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """A result envelope could not be decoded (wrong version, missing or
+    unknown fields)."""
+
+
+# --- Results ----------------------------------------------------------------
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """Encode a :class:`RunResult` as a JSON-able envelope."""
+    data = dataclasses.asdict(result)
+    data["revoker"] = result.revoker.value
+    return {"format": FORMAT_VERSION, "result": data}
+
+
+def _epoch_from_dict(data: Mapping[str, Any]) -> EpochRecord:
+    fields = dict(data)
+    try:
+        fields["phases"] = [PhaseSample(**p) for p in fields.get("phases", ())]
+        return EpochRecord(**fields)
+    except TypeError as exc:
+        raise SerializationError(f"bad epoch record: {exc}") from exc
+
+
+def result_from_dict(envelope: Mapping[str, Any]) -> RunResult:
+    """Decode :func:`result_to_dict`'s envelope back into a
+    :class:`RunResult` equal to the original."""
+    version = envelope.get("format")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"result format {version!r} != supported {FORMAT_VERSION}"
+        )
+    data = dict(envelope["result"])
+    try:
+        data["revoker"] = RevokerKind(data["revoker"])
+        data["latencies"] = [LatencySample(**s) for s in data.get("latencies", ())]
+        data["epoch_records"] = [
+            _epoch_from_dict(e) for e in data.get("epoch_records", ())
+        ]
+        return RunResult(**data)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"bad result envelope: {exc}") from exc
+
+
+def dumps_result(result: RunResult) -> str:
+    """Serialize to a canonical (sorted-key) JSON string."""
+    return json.dumps(result_to_dict(result), sort_keys=True, separators=(",", ":"))
+
+
+def loads_result(text: str) -> RunResult:
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid result JSON: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise SerializationError("result envelope is not a JSON object")
+    return result_from_dict(envelope)
+
+
+# --- Configurations ---------------------------------------------------------
+
+
+def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
+    """Flatten a :class:`SimulationConfig` (machine, cost model, policy
+    and all) to a JSON-able dict, for fingerprinting.
+
+    Not meant to round-trip — configs are rebuilt from campaign specs —
+    but it must cover *every* field so any config change perturbs the
+    fingerprint.
+    """
+    data = dataclasses.asdict(config)
+    data["revoker"] = config.revoker.value
+    if config.custom_revoker is not None:
+        cls = config.custom_revoker
+        data["custom_revoker"] = f"{cls.__module__}:{cls.__qualname__}"
+    return data
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for fingerprint material."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))

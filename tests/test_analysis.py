@@ -147,3 +147,30 @@ class TestRendering:
 
     def test_bar_chart_empty(self):
         assert bar_chart([]) == "(empty)"
+
+
+class TestStatsErrorHierarchy:
+    """Empty/invalid stats input raises StatsError — a ReproError (so the
+    CLI's one catch handles it) that is still a ValueError (so existing
+    callers keep working)."""
+
+    def test_empty_inputs_raise_repro_error(self):
+        from repro.analysis.stats import BoxStats
+        from repro.errors import ReproError, StatsError
+
+        for fn in (lambda: geomean([]), lambda: percentile([], 50),
+                   lambda: mean([]), lambda: BoxStats.of([])):
+            with pytest.raises(StatsError):
+                fn()
+            with pytest.raises(ReproError):
+                fn()
+            with pytest.raises(ValueError):
+                fn()
+
+    def test_invalid_inputs_raise_repro_error(self):
+        from repro.errors import StatsError
+
+        with pytest.raises(StatsError):
+            percentile([1.0], -3)
+        with pytest.raises(StatsError):
+            geomean([1.0, -2.0])

@@ -13,9 +13,13 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_run_defaults(self):
+        from repro.core.config import RevokerKind
+
         args = build_parser().parse_args(["run", "gobmk.13x13"])
         assert args.workload == "gobmk.13x13"
-        assert args.revoker == "reloaded"
+        # Strategy arguments are converted at parse time (so bad names
+        # route through parser.error with usage text).
+        assert args.revoker is RevokerKind.RELOADED
         assert args.scale == 256
 
     def test_unknown_strategy_rejected(self, capsys):
@@ -72,3 +76,83 @@ class TestVerifyPaper:
         out = capsys.readouterr().out
         assert "paper claims verified" in out
         assert "OFF" not in out
+
+
+class TestArgparseErrorRouting:
+    def test_unknown_strategy_exits_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "gobmk.13x13", "wat"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "choose from" in err
+
+    def test_trace_replay_strategy_routed_too(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "replay", "whatever.jsonl", "wat"])
+        assert exc.value.code == 2
+        assert "choose from" in capsys.readouterr().err
+
+    def test_unknown_workload_message_names_catalog(self, capsys):
+        assert main(["run", "doom"]) == 2
+        assert "repro list" in capsys.readouterr().err
+
+    def test_unknown_spec_input_lists_inputs(self, capsys):
+        assert main(["run", "gobmk.99x99"]) == 2
+        err = capsys.readouterr().err
+        assert "13x13" in err and "trevord" in err
+
+
+class TestCampaignCommand:
+    def _write_spec(self, tmp_path, **overrides):
+        import json
+
+        data = {
+            "name": "cli-smoke",
+            "workloads": [
+                {"kind": "spec",
+                 "params": {"benchmark": "hmmer", "input": "retro", "scale": 2048}},
+            ],
+            "revokers": ["none", "reloaded"],
+        }
+        data.update(overrides)
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_dry_run_lists_matrix(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, seeds=[1, 2])
+        assert main(["campaign", path, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out
+        assert "hmmer" in out
+
+    def test_campaign_runs_and_caches(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["campaign", path, "--cache-dir", cache_dir, "--quiet"]) == 0
+        first = capsys.readouterr().out
+        assert "cache-hits=0 fresh=2" in first
+        assert main(["campaign", path, "--cache-dir", cache_dir, "--quiet"]) == 0
+        second = capsys.readouterr().out
+        assert "cache-hits=2 fresh=0" in second
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, revokers=["none"])
+        assert main(["campaign", path, "--no-cache", "--quiet"]) == 0
+        assert "cache-hits=0 fresh=1" in capsys.readouterr().out
+
+    def test_missing_spec_file_is_an_error(self, tmp_path, capsys):
+        assert main(["campaign", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert main(["campaign", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bad_matrix_is_an_error(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, revokers=["warp-drive"])
+        assert main(["campaign", path]) == 2
+        assert "error" in capsys.readouterr().err

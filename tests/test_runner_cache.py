@@ -1,0 +1,154 @@
+"""Cache hit/miss/invalidation behavior of the content-addressed store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import RevokerKind
+from repro.core.metrics import RunResult
+from repro.runner.cache import ResultCache, code_fingerprint, job_fingerprint
+from repro.runner.campaign import Job, WorkloadSpec
+
+
+def _job(**overrides):
+    fields = {
+        "workload": WorkloadSpec(
+            "spec", {"benchmark": "hmmer", "input": "retro", "scale": 2048}
+        ),
+        "revoker": RevokerKind.RELOADED,
+        "config": {},
+    }
+    fields.update(overrides)
+    return Job(**fields)
+
+
+def _result(wall=123):
+    return RunResult("hmmer.retro", RevokerKind.RELOADED, wall_cycles=wall)
+
+
+class TestFingerprint:
+    def test_stable_for_identical_jobs(self):
+        assert job_fingerprint(_job()) == job_fingerprint(_job())
+
+    def test_key_does_not_affect_identity(self):
+        assert job_fingerprint(_job(key="a")) == job_fingerprint(_job(key="b"))
+
+    def test_workload_param_changes_invalidate(self):
+        base = job_fingerprint(_job())
+        scaled = _job(
+            workload=WorkloadSpec(
+                "spec", {"benchmark": "hmmer", "input": "retro", "scale": 1024}
+            )
+        )
+        assert job_fingerprint(scaled) != base
+
+    def test_revoker_changes_invalidate(self):
+        assert job_fingerprint(_job(revoker=RevokerKind.CORNUCOPIA)) != \
+            job_fingerprint(_job())
+
+    def test_config_changes_invalidate(self):
+        base = job_fingerprint(_job())
+        assert job_fingerprint(_job(config={"revoker_core": 1})) != base
+        assert job_fingerprint(_job(config={"machine": {"cache_bytes": 2 << 20}})) != base
+
+    def test_code_version_invalidates(self):
+        a = job_fingerprint(_job(), code_version="aaaa")
+        b = job_fingerprint(_job(), code_version="bbbb")
+        assert a != b
+
+    def test_default_code_version_is_simulation_sources(self):
+        # Deterministic within a process...
+        assert code_fingerprint() == code_fingerprint()
+        # ...and the default fingerprint uses it.
+        assert job_fingerprint(_job()) == job_fingerprint(
+            _job(), code_version=code_fingerprint()
+        )
+
+
+class TestResultCache:
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.entries() == 0
+
+    def test_put_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = job_fingerprint(_job())
+        result = _result()
+        cache.put(fp, result, job=_job())
+        assert fp in cache
+        assert cache.get(fp) == result
+        assert cache.entries() == 1
+
+    def test_distinct_fingerprints_are_distinct_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = job_fingerprint(_job()), job_fingerprint(_job(revoker=RevokerKind.NONE))
+        cache.put(a, _result(1))
+        cache.put(b, _result(2))
+        assert cache.get(a).wall_cycles == 1
+        assert cache.get(b).wall_cycles == 2
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = job_fingerprint(_job())
+        path = cache.put(fp, _result())
+        path.write_text("{torn write")
+        assert cache.get(fp) is None
+        assert not path.exists()
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = job_fingerprint(_job())
+        path = cache.put(fp, _result())
+        # A file renamed under the wrong address must not be served.
+        envelope = json.loads(path.read_text())
+        envelope["fingerprint"] = "f" * 64
+        path.write_text(json.dumps(envelope))
+        assert cache.get(fp) is None
+
+    def test_write_is_atomic_no_tmp_residue(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = job_fingerprint(_job())
+        path = cache.put(fp, _result())
+        leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_cache_dir_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "envcache"
+
+
+class TestEndToEndInvalidation:
+    """Changing any knob re-simulates exactly the affected jobs."""
+
+    def test_repeat_campaign_is_all_hits_and_equal(self, tmp_path):
+        from repro.runner import run_jobs
+        from repro.runner.progress import CampaignProgress
+
+        cache = ResultCache(tmp_path)
+        jobs = [
+            _job(),
+            _job(revoker=RevokerKind.NONE),
+        ]
+        first = run_jobs(jobs, cache=cache, max_workers=1)
+        progress = CampaignProgress(len(jobs))
+        second = run_jobs(jobs, cache=cache, max_workers=1, progress=progress)
+        assert progress.cache_hits == len(jobs) and progress.fresh == 0
+        assert first == second
+
+    def test_changed_config_invalidates_only_affected_job(self, tmp_path):
+        from repro.runner import run_jobs
+        from repro.runner.progress import CampaignProgress
+
+        cache = ResultCache(tmp_path)
+        jobs = [_job(), _job(revoker=RevokerKind.NONE)]
+        run_jobs(jobs, cache=cache, max_workers=1)
+        # Perturb one job's config; the other stays cached.
+        changed = [_job(config={"app_core": 2}), _job(revoker=RevokerKind.NONE)]
+        progress = CampaignProgress(len(changed))
+        run_jobs(changed, cache=cache, max_workers=1, progress=progress)
+        assert progress.cache_hits == 1
+        assert progress.fresh == 1

@@ -1,0 +1,198 @@
+"""Campaign spec expansion, workload registry, and config overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RevokerKind
+from repro.errors import ConfigError
+from repro.runner.campaign import (
+    CampaignSpec,
+    Job,
+    WorkloadSpec,
+    build_config,
+    execute_job,
+    register_workload,
+    registered_workloads,
+    stable_seed,
+)
+from repro.workloads.pgbench import PgBenchWorkload
+
+
+class TestWorkloadSpec:
+    def test_builds_registered_kinds(self):
+        w = WorkloadSpec("pgbench", {"transactions": 5}).build()
+        assert isinstance(w, PgBenchWorkload)
+        assert w.transactions == 5
+
+    def test_each_build_is_fresh(self):
+        spec = WorkloadSpec("pgbench", {"transactions": 5})
+        assert spec.build() is not spec.build()
+
+    def test_unknown_kind_lists_registry(self):
+        with pytest.raises(ConfigError, match="unknown workload kind"):
+            WorkloadSpec("nope", {}).build()
+        for kind in ("spec", "pgbench", "grpc"):
+            assert kind in registered_workloads()
+
+    def test_bad_params_are_config_errors(self):
+        with pytest.raises(ConfigError, match="bad parameters"):
+            WorkloadSpec("pgbench", {"warp_factor": 9}).build()
+
+    def test_with_params_merges(self):
+        spec = WorkloadSpec("pgbench", {"transactions": 5})
+        seeded = spec.with_params(seed=3)
+        assert seeded.params == {"transactions": 5, "seed": 3}
+        assert spec.params == {"transactions": 5}
+
+    def test_runtime_registration(self):
+        marker = object()
+        register_workload("test-kind-xyz", lambda: marker)
+        try:
+            assert WorkloadSpec("test-kind-xyz", {}).build() is marker
+        finally:
+            from repro.runner import campaign
+
+            del campaign._BUILDERS["test-kind-xyz"]
+
+
+class TestBuildConfig:
+    def test_defaults(self):
+        cfg = build_config(Job(WorkloadSpec("pgbench"), RevokerKind.RELOADED))
+        assert cfg.revoker is RevokerKind.RELOADED
+        assert cfg.revoker_core == 2
+
+    def test_scalar_and_nested_overrides(self):
+        job = Job(
+            WorkloadSpec("pgbench"),
+            RevokerKind.NONE,
+            config={
+                "app_core": 1,
+                "revoker_core": 0,
+                "machine": {"num_cores": 2, "cache_bytes": 2 << 20},
+                "policy": {"min_bytes": 4096},
+            },
+        )
+        cfg = build_config(job)
+        assert cfg.app_core == 1
+        assert cfg.machine.num_cores == 2
+        assert cfg.machine.cache_bytes == 2 << 20
+        assert cfg.policy.min_bytes == 4096
+
+    def test_unknown_overrides_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config override"):
+            build_config(
+                Job(WorkloadSpec("pgbench"), RevokerKind.NONE, config={"bogus": 1})
+            )
+        with pytest.raises(ConfigError, match="unknown machine override"):
+            build_config(
+                Job(
+                    WorkloadSpec("pgbench"),
+                    RevokerKind.NONE,
+                    config={"machine": {"warp": 1}},
+                )
+            )
+
+    def test_invalid_values_fail_validation(self):
+        with pytest.raises(ConfigError):
+            build_config(
+                Job(WorkloadSpec("pgbench"), RevokerKind.NONE, config={"app_core": 9})
+            )
+
+
+class TestStableSeed:
+    def test_deterministic_and_distinct(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert stable_seed("a", 1) != stable_seed("b", 1)
+
+    def test_pythonhashseed_independent_value(self):
+        # Pinned value: must not drift across sessions or processes.
+        assert stable_seed("campaign", 0) == stable_seed("campaign", 0)
+        assert 0 <= stable_seed("campaign", 0) < 2**48
+
+
+class TestCampaignSpec:
+    def _spec(self, **overrides):
+        fields = {
+            "name": "t",
+            "workloads": [
+                WorkloadSpec("pgbench", {"transactions": 5}),
+                WorkloadSpec("grpc", {"duration_seconds": 0.1}),
+            ],
+            "revokers": [RevokerKind.NONE, RevokerKind.RELOADED],
+        }
+        fields.update(overrides)
+        return CampaignSpec(**fields)
+
+    def test_matrix_expansion(self):
+        jobs = self._spec(seeds=[1, 2, 3]).expand()
+        assert len(jobs) == 2 * 2 * 3
+        # Deterministic order and key identity.
+        assert jobs[0].key == (0, RevokerKind.NONE, 1)
+        assert jobs[-1].key == (1, RevokerKind.RELOADED, 3)
+        assert all(j.workload.params.get("seed") in (1, 2, 3) for j in jobs)
+
+    def test_default_seeds_keep_workload_defaults(self):
+        jobs = self._spec().expand()
+        assert len(jobs) == 4
+        assert all("seed" not in j.workload.params for j in jobs)
+
+    def test_replicates_derive_stable_seeds(self):
+        jobs_a = self._spec(replicates=3).expand()
+        jobs_b = self._spec(replicates=3).expand()
+        assert [j.workload.params["seed"] for j in jobs_a] == [
+            j.workload.params["seed"] for j in jobs_b
+        ]
+        seeds = {j.workload.params["seed"] for j in jobs_a}
+        assert len(seeds) == len(jobs_a), "per-job seeds must be distinct"
+
+    def test_seeds_and_replicates_conflict(self):
+        with pytest.raises(ConfigError):
+            self._spec(seeds=[1], replicates=2)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigError):
+            self._spec(workloads=[])
+        with pytest.raises(ConfigError):
+            self._spec(revokers=[])
+
+    def test_from_dict_round(self):
+        spec = CampaignSpec.from_dict({
+            "name": "json",
+            "workloads": [{"kind": "pgbench", "params": {"transactions": 7}}],
+            "revokers": ["none", "reloaded"],
+            "seeds": [4],
+            "config": {"revoker_core": 2},
+        })
+        jobs = spec.expand()
+        assert len(jobs) == 2
+        assert jobs[0].workload.params == {"transactions": 7, "seed": 4}
+        assert jobs[0].config == {"revoker_core": 2}
+
+    def test_from_dict_rejects_unknowns(self):
+        with pytest.raises(ConfigError, match="unknown fields"):
+            CampaignSpec.from_dict({
+                "workloads": [{"kind": "pgbench"}],
+                "revokers": ["none"],
+                "typo": True,
+            })
+        with pytest.raises(ConfigError):
+            CampaignSpec.from_dict({
+                "workloads": [{"kind": "pgbench"}],
+                "revokers": ["warp-drive"],
+            })
+
+
+class TestExecuteJob:
+    def test_runs_and_reports(self):
+        job = Job(
+            WorkloadSpec(
+                "spec", {"benchmark": "hmmer", "input": "retro", "scale": 2048}
+            ),
+            RevokerKind.RELOADED,
+        )
+        result = execute_job(job)
+        assert result.workload == "hmmer.retro"
+        assert result.revoker is RevokerKind.RELOADED
+        assert result.wall_cycles > 0

@@ -1,0 +1,226 @@
+"""Worker-pool behavior: determinism across the process boundary, cache
+integration, crash retry, timeouts, and the in-process fallback.
+
+The crash/timeout fixtures register throwaway workload kinds at runtime,
+which only reach pool workers under the ``fork`` start method — the
+whole module is skipped where fork is unavailable (the pool itself falls
+back gracefully there).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import RevokerKind
+from repro.runner import (
+    CampaignProgress,
+    CampaignSpec,
+    Job,
+    ResultCache,
+    WorkloadSpec,
+    execute_job,
+    run_campaign,
+    run_jobs,
+)
+from repro.runner.campaign import register_workload
+from repro.runner.pool import CampaignJobError, default_max_workers
+from repro.runner.serialize import dumps_result
+from repro.workloads.base import Workload
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pool tests need the fork start method"
+)
+
+_SPEC_JOB = Job(
+    WorkloadSpec("spec", {"benchmark": "hmmer", "input": "retro", "scale": 2048}),
+    RevokerKind.RELOADED,
+)
+
+
+class _TinyWorkload(Workload):
+    name = "tiny"
+
+    def run(self, ctx):
+        cap = yield from ctx.malloc(64)
+        yield from ctx.free(cap)
+        yield 100
+
+
+@pytest.fixture
+def scratch_kind():
+    """Register a throwaway workload kind; yields a setter for its
+    builder and cleans the registry up afterwards."""
+    from repro.runner import campaign
+
+    kind = "pool-test-kind"
+
+    def install(builder):
+        register_workload(kind, builder)
+        return kind
+
+    yield install
+    campaign._BUILDERS.pop(kind, None)
+
+
+class TestDeterminism:
+    def test_pool_worker_matches_in_process(self):
+        """A seeded run serializes identically whether it ran here or in
+        a pool worker (the satellite determinism criterion)."""
+        in_process = dumps_result(execute_job(_SPEC_JOB))
+        pooled = run_jobs([_SPEC_JOB, _SPEC_JOB], max_workers=2)
+        assert dumps_result(pooled[0]) == in_process
+        assert dumps_result(pooled[1]) == in_process
+
+    def test_pool_and_serial_campaigns_agree(self, tmp_path):
+        spec = CampaignSpec(
+            "det",
+            [WorkloadSpec("spec", {"benchmark": "gobmk", "input": "13x13", "scale": 2048})],
+            [RevokerKind.NONE, RevokerKind.RELOADED],
+            seeds=[1, 2],
+        )
+        serial = run_campaign(spec, max_workers=1)
+        pooled = run_campaign(spec, max_workers=2)
+        assert [dumps_result(r) for r in serial.results] == [
+            dumps_result(r) for r in pooled.results
+        ]
+
+    def test_cached_result_equals_fresh(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fresh = run_jobs([_SPEC_JOB], cache=cache, max_workers=1)[0]
+        cached = run_jobs([_SPEC_JOB], cache=cache, max_workers=1)[0]
+        assert dumps_result(cached) == dumps_result(fresh)
+
+
+class TestPoolCacheIntegration:
+    def test_pooled_results_are_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        progress = CampaignProgress(2)
+        run_jobs([_SPEC_JOB, _SPEC_JOB], cache=cache, max_workers=2, progress=progress)
+        # Both jobs share one fingerprint; at least the second pass must
+        # be pure hits.
+        progress2 = CampaignProgress(2)
+        run_jobs([_SPEC_JOB, _SPEC_JOB], cache=cache, max_workers=2, progress=progress2)
+        assert progress2.cache_hits == 2
+        assert progress2.fresh == 0
+
+
+class TestFaultTolerance:
+    def test_crash_once_is_retried(self, scratch_kind, tmp_path):
+        flag = tmp_path / "crashed-once"
+
+        def crash_once():
+            if not flag.exists():
+                flag.touch()
+                os._exit(42)
+            return _TinyWorkload()
+
+        kind = scratch_kind(crash_once)
+        progress = CampaignProgress(1)
+        results = run_jobs(
+            [Job(WorkloadSpec(kind), RevokerKind.NONE)],
+            max_workers=2,
+            progress=progress,
+        )
+        assert results[0].wall_cycles > 0
+        assert progress.retries == 1
+        assert progress.failures == 0
+
+    def test_persistent_crash_fails_after_retry(self, scratch_kind):
+        def always_crash():
+            os._exit(13)
+
+        kind = scratch_kind(always_crash)
+        progress = CampaignProgress(1)
+        with pytest.raises(CampaignJobError, match="failed twice"):
+            run_jobs(
+                [Job(WorkloadSpec(kind), RevokerKind.NONE)],
+                max_workers=2,
+                progress=progress,
+            )
+        assert progress.retries == 1
+        assert progress.failures == 1
+
+    def test_timeout_terminates_and_fails(self, scratch_kind):
+        def sleepy():
+            time.sleep(60)
+            return _TinyWorkload()  # pragma: no cover
+
+        kind = scratch_kind(sleepy)
+        began = time.monotonic()
+        with pytest.raises(CampaignJobError, match="timeout"):
+            run_jobs(
+                [Job(WorkloadSpec(kind), RevokerKind.NONE)],
+                max_workers=2,
+                timeout_s=0.3,
+            )
+        # Two attempts at ~0.3s each, not 60s.
+        assert time.monotonic() - began < 20
+
+    def test_deterministic_exception_not_retried(self, scratch_kind):
+        def boom():
+            raise RuntimeError("deterministic boom")
+
+        kind = scratch_kind(boom)
+        progress = CampaignProgress(1)
+        with pytest.raises(CampaignJobError, match="deterministic boom"):
+            run_jobs(
+                [Job(WorkloadSpec(kind), RevokerKind.NONE)],
+                max_workers=2,
+                progress=progress,
+            )
+        assert progress.retries == 0
+
+
+class TestInProcessFallback:
+    def test_single_worker_never_forks(self, scratch_kind, monkeypatch):
+        """max_workers=1 must not touch multiprocessing at all."""
+        from repro.runner import pool
+
+        def no_pool(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("pool path used with max_workers=1")
+
+        monkeypatch.setattr(pool, "_run_pooled", no_pool)
+        results = run_jobs([_SPEC_JOB], max_workers=1)
+        assert results[0].wall_cycles > 0
+
+    def test_env_default_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_max_workers() == 3
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_max_workers() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_JOBS", "nope")
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            default_max_workers()
+
+
+class TestProgress:
+    def test_summary_counts_and_parseable_tail(self):
+        progress = CampaignProgress(3)
+        progress.job_finished("a", cached=True, elapsed=0.0)
+        progress.job_finished("b", cached=False, elapsed=0.5)
+        progress.job_finished("c", cached=False, elapsed=0.7)
+        assert progress.hit_ratio() == pytest.approx(1 / 3)
+        assert progress.eta_seconds() is None  # nothing remaining
+        summary = progress.summary()
+        assert "cache-hits=1 fresh=2" in summary
+
+    def test_eta_uses_fresh_jobs_only(self):
+        progress = CampaignProgress(4)
+        progress.job_finished("a", cached=True, elapsed=0.0)
+        assert progress.eta_seconds() is None  # no fresh sample yet
+        progress.job_finished("b", cached=False, elapsed=2.0)
+        assert progress.eta_seconds() == pytest.approx(4.0)
+
+    def test_echo_lines(self):
+        lines = []
+        progress = CampaignProgress(2, echo=lines.append)
+        progress.job_finished("job-a", cached=True, elapsed=0.0)
+        progress.job_retried("job-b", "worker exited")
+        progress.job_finished("job-b", cached=False, elapsed=1.0)
+        assert any("job-a" in line and "cache" in line for line in lines)
+        assert any("retry" in line for line in lines)

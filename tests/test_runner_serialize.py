@@ -1,0 +1,162 @@
+"""Round-trip tests for the runner's result serialization.
+
+The cache and the worker pool both depend on ``RunResult -> JSON ->
+RunResult`` being lossless (deserialized results must compare equal,
+including the nested EpochRecord/PhaseSample/LatencySample structures),
+so that cached, pooled, and in-process execution are interchangeable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import RevokerKind
+from repro.core.experiment import run_experiment
+from repro.core.metrics import LatencySample, RunResult
+from repro.kernel.revoker.base import EpochRecord, PhaseSample
+from repro.runner.serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    config_to_dict,
+    dumps_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.workloads import spec
+
+
+# --- Hypothesis strategies over the full metrics schema --------------------
+
+_cycles = st.integers(min_value=0, max_value=2**48)
+
+_phases = st.builds(
+    PhaseSample,
+    epoch=st.integers(1, 100),
+    name=st.sampled_from(["scan-roots", "sweep", "clg-flip", "re-sweep"]),
+    kind=st.sampled_from(["stw", "concurrent"]),
+    begin=_cycles,
+    end=_cycles,
+)
+
+_epochs = st.builds(
+    EpochRecord,
+    epoch=st.integers(1, 100),
+    phases=st.lists(_phases, max_size=4),
+    fault_cycles=_cycles,
+    fault_count=st.integers(0, 10_000),
+    pages_swept=st.integers(0, 10_000),
+    pages_gen_only=st.integers(0, 10_000),
+    caps_checked=st.integers(0, 10_000),
+    caps_revoked=st.integers(0, 10_000),
+    roots_checked=st.integers(0, 10_000),
+    roots_revoked=st.integers(0, 10_000),
+)
+
+_latencies = st.builds(
+    LatencySample,
+    label=st.text(min_size=1, max_size=8),
+    begin=_cycles,
+    end=_cycles,
+)
+
+_core_names = st.sampled_from(["core0", "core1", "core2", "core3"])
+
+_results = st.builds(
+    RunResult,
+    workload=st.text(min_size=1, max_size=16),
+    revoker=st.sampled_from(list(RevokerKind)),
+    wall_cycles=_cycles,
+    cpu_cycles_by_core=st.dictionaries(_core_names, _cycles, max_size=4),
+    app_cpu_cycles=_cycles,
+    bus_by_source=st.dictionaries(_core_names, _cycles, max_size=4),
+    peak_rss_bytes=st.integers(0, 2**40),
+    stw_pauses=st.lists(_cycles, max_size=8),
+    epoch_records=st.lists(_epochs, max_size=3),
+    latencies=st.lists(_latencies, max_size=8),
+    revocations=st.integers(0, 1000),
+    mean_alloc_bytes=st.floats(0, 1e12, allow_nan=False),
+    sum_freed_bytes=st.integers(0, 2**50),
+    mean_quarantine_bytes=st.floats(0, 1e12, allow_nan=False),
+    blocked_operations=st.integers(0, 1000),
+    foreground_faults=st.integers(0, 100_000),
+    spurious_faults=st.integers(0, 100_000),
+    caps_revoked=st.integers(0, 10**9),
+    pages_swept=st.integers(0, 10**9),
+)
+
+
+class TestRoundTrip:
+    @given(_results)
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_dict_round_trip_is_lossless(self, result):
+        assert result_from_dict(result_to_dict(result)) == result
+
+    @given(_results)
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_json_round_trip_is_lossless(self, result):
+        text = dumps_result(result)
+        again = loads_result(text)
+        assert again == result
+        # Canonical form: serializing again yields identical bytes.
+        assert dumps_result(again) == text
+
+    def test_real_run_round_trips(self):
+        result = run_experiment(
+            spec.workload("hmmer", "retro", scale=2048), RevokerKind.RELOADED
+        )
+        assert result.epoch_records, "want nested records in this fixture"
+        again = loads_result(dumps_result(result))
+        assert again == result
+        # Derived metrics survive the trip too.
+        assert again.total_cpu_cycles == result.total_cpu_cycles
+        assert again.max_stw_pause_ms() == result.max_stw_pause_ms()
+
+
+class TestEnvelopeValidation:
+    def test_rejects_wrong_format_version(self):
+        envelope = result_to_dict(RunResult("w", RevokerKind.NONE))
+        envelope["format"] = FORMAT_VERSION + 1
+        with pytest.raises(SerializationError):
+            result_from_dict(envelope)
+
+    def test_rejects_unknown_fields(self):
+        envelope = result_to_dict(RunResult("w", RevokerKind.NONE))
+        envelope["result"]["not_a_field"] = 1
+        with pytest.raises(SerializationError):
+            result_from_dict(envelope)
+
+    def test_rejects_bad_revoker(self):
+        envelope = result_to_dict(RunResult("w", RevokerKind.NONE))
+        envelope["result"]["revoker"] = "teleport"
+        with pytest.raises(SerializationError):
+            result_from_dict(envelope)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads_result("{truncated")
+        with pytest.raises(SerializationError):
+            loads_result("[1, 2]")
+
+
+class TestConfigToDict:
+    def test_covers_every_field(self):
+        import dataclasses
+        import json
+
+        from repro.core.config import SimulationConfig
+
+        cfg = SimulationConfig()
+        data = config_to_dict(cfg)
+        for field in dataclasses.fields(SimulationConfig):
+            assert field.name in data
+        json.dumps(data)  # JSON-able all the way down
+
+    def test_custom_revoker_named(self):
+        from repro.core.config import SimulationConfig
+        from repro.extensions.multithread_revoker import MultithreadReloadedRevoker
+
+        cfg = SimulationConfig(custom_revoker=MultithreadReloadedRevoker)
+        data = config_to_dict(cfg)
+        assert "MultithreadReloadedRevoker" in data["custom_revoker"]
