@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Microbenchmark: the vectorized sweep engine vs the scalar reference.
+
+Times the two implementations of the sweep hot loops on identical state:
+
+- **scan**: `Revoker.sweep_page` over a capability-dense heap with
+  nothing condemned — the pure probe-all-tagged-granules loop that
+  dominates every revocation epoch;
+- **revoke**: the same sweep with half the allocations painted, so the
+  masked tag-clearing store runs too;
+- **stream**: `Cache.access_page` of a page working set larger than the
+  cache — the batched LRU/eviction arithmetic under the sweep's memory
+  traffic pattern.
+
+The scalar reference is selected per-pass via ``REPRO_SCALAR=1`` (the
+same escape hatch users have); both passes run in this one process on
+freshly built, identically seeded state.
+
+Writes a JSON report (default ``BENCH_sweep.json`` in the repo root) and
+exits non-zero if any vectorized hot loop fails ``--min-speedup`` (default
+1.0: vectorized must at least not lose). CI runs this as a perf smoke
+test; the committed baseline was produced by::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_micro.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.kernel.kernel import Kernel  # noqa: E402
+from repro.kernel.revoker import CheriVokeRevoker  # noqa: E402
+from repro.kernel.revoker.base import EpochRecord  # noqa: E402
+from repro.machine.cache import Bus, Cache  # noqa: E402
+from repro.machine.costs import GRANULE_BYTES, PAGE_BYTES  # noqa: E402
+from repro.machine.machine import Machine  # noqa: E402
+
+
+def build_rig(pages: int, caps_per_page: int):
+    """A kernel with a ``pages``-page heap, ``caps_per_page`` capabilities
+    planted per page at even granule spacing."""
+    machine = Machine(memory_bytes=max(8 << 20, 2 * pages * PAGE_BYTES))
+    kernel = Kernel(machine)
+    revoker = kernel.install_revoker(CheriVokeRevoker)
+    heap, _ = kernel.address_space.mmap(pages * PAGE_BYTES)
+    core = machine.cores[2]
+    stride = PAGE_BYTES // caps_per_page
+    assert stride % GRANULE_BYTES == 0
+    for page in range(pages):
+        for i in range(caps_per_page):
+            addr = heap.base + page * PAGE_BYTES + i * stride
+            target = heap.derive(addr, GRANULE_BYTES)
+            core.store_cap(heap.with_address(addr), target)
+    ptes = [
+        machine.pagetable.require(heap.base // PAGE_BYTES + p)
+        for p in range(pages)
+    ]
+    return machine, kernel, revoker, heap, core, ptes
+
+
+def timed(fn, reps: int) -> float:
+    """Best-of-``reps`` wall seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(reps):
+        began = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - began)
+    return best
+
+
+def bench_scan(pages: int, caps_per_page: int, reps: int) -> float:
+    _, _, revoker, _, core, ptes = build_rig(pages, caps_per_page)
+    record = EpochRecord(epoch=0)
+
+    def scan() -> None:
+        for pte in ptes:
+            revoker.sweep_page(core, pte, record)
+
+    return timed(scan, reps)
+
+
+def bench_revoke(pages: int, caps_per_page: int, reps: int) -> float:
+    _, kernel, revoker, heap, core, ptes = build_rig(pages, caps_per_page)
+    record = EpochRecord(epoch=0)
+    stride = PAGE_BYTES // caps_per_page
+    victims = [
+        (heap.base + page * PAGE_BYTES + i * stride, GRANULE_BYTES)
+        for page in range(pages)
+        for i in range(0, caps_per_page, 2)
+    ]
+
+    def replant() -> None:
+        for addr, _ in victims:
+            core.store_cap(
+                heap.with_address(addr), heap.derive(addr, GRANULE_BYTES)
+            )
+
+    def sweep_all() -> None:
+        for pte in ptes:
+            revoker.sweep_page(core, pte, record)
+
+    best = float("inf")
+    for _ in range(reps):
+        replant()
+        for addr, nbytes in victims:
+            kernel.shadow.paint(addr, nbytes)
+        began = time.perf_counter()
+        sweep_all()
+        best = min(best, time.perf_counter() - began)
+        kernel.shadow.unpaint_many(victims)
+    return best
+
+
+def bench_stream(pages: int, reps: int) -> float:
+    # 16-page cache streaming a larger footprint: steady-state evictions,
+    # the background sweep's traffic pattern.
+    cache = Cache(Bus(), "bench", capacity_bytes=16 * PAGE_BYTES)
+
+    def stream() -> None:
+        for vpn in range(pages):
+            cache.access_page(vpn)
+
+    return timed(stream, reps)
+
+
+def run_pass(scalar: bool, pages: int, caps_per_page: int, reps: int) -> dict:
+    os.environ["REPRO_SCALAR"] = "1" if scalar else "0"
+    try:
+        return {
+            "scan_s": bench_scan(pages, caps_per_page, reps),
+            "revoke_s": bench_revoke(pages, caps_per_page, max(2, reps // 2)),
+            "stream_s": bench_stream(4 * pages, reps),
+        }
+    finally:
+        os.environ.pop("REPRO_SCALAR", None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sweep.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail unless every vectorized hot loop beats scalar by this factor",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small working set and few reps (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    pages, caps_per_page, reps = (16, 64, 3) if args.quick else (64, 128, 5)
+    scalar = run_pass(True, pages, caps_per_page, reps)
+    vector = run_pass(False, pages, caps_per_page, reps)
+    speedups = {
+        key.removesuffix("_s"): scalar[key] / vector[key] for key in scalar
+    }
+
+    report = {
+        "benchmark": "sweep_micro",
+        "config": {
+            "pages": pages,
+            "caps_per_page": caps_per_page,
+            "reps": reps,
+            "quick": args.quick,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scalar": scalar,
+        "vectorized": vector,
+        "speedup": {k: round(v, 2) for k, v in speedups.items()},
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for key, factor in speedups.items():
+        print(
+            f"{key:>7}: scalar {scalar[key + '_s'] * 1e3:8.2f} ms  "
+            f"vectorized {vector[key + '_s'] * 1e3:8.2f} ms  "
+            f"speedup {factor:5.2f}x"
+        )
+    print(f"report written to {args.out}")
+
+    slowest = min(speedups, key=speedups.get)
+    if speedups[slowest] < args.min_speedup:
+        print(
+            f"FAIL: {slowest} speedup {speedups[slowest]:.2f}x "
+            f"< required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

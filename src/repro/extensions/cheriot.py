@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.kernel.revoker.base import Revoker, SWEEP_YIELD_CYCLES
+from repro.kernel.revoker.base import Revoker
 from repro.kernel.shadow import RevocationBitmap
 from repro.machine.capability import Capability
 from repro.machine.cpu import AccessResult, Core
@@ -85,14 +85,9 @@ class CheriotRevoker(Revoker):
         begin = slot.time
         self.machine.bus.sweep_begin()
         try:
-            batch = 0
-            for pte in self.machine.pagetable.cap_dirty_pages():
-                batch += self.sweep_page(core, pte, record)
-                if batch >= SWEEP_YIELD_CYCLES:
-                    yield batch
-                    batch = 0
-            if batch:
-                yield batch
+            yield from self.sweep_pages_concurrent(
+                core, self.machine.pagetable.cap_dirty_pages(), record
+            )
         finally:
             self.machine.bus.sweep_end()
         # Root scan without a pause: the filter already guarantees no

@@ -117,12 +117,13 @@ class ColoredHeap:
     def release_after_revocation(self) -> int:
         """After a revocation epoch, recycle exhausted slots with a fresh
         color space; returns the number released."""
-        released = 0
+        self.kernel.shadow.unpaint_many(
+            (region.addr, region.size) for region in self.quarantined
+        )
+        released = len(self.quarantined)
         for region in self.quarantined:
-            self.kernel.shadow.unpaint(region.addr, region.size)
             self._memory_color[region.addr] = 0
             self.alloc.release(region)
-            released += 1
         self.quarantined.clear()
         return released
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.kernel.revoker.base import SWEEP_YIELD_CYCLES
 from repro.kernel.revoker.cornucopia import CornucopiaRevoker
 from repro.machine.cpu import Core
 from repro.machine.scheduler import CoreSlot, ResumeWorld, StopWorld
@@ -56,14 +55,9 @@ class MultipassCornucopiaRevoker(CornucopiaRevoker):
                         per_pass.append(0)
                         continue
                 before = record.pages_swept
-                batch = 0
-                for pte in targets:
-                    batch += self.sweep_page(core, pte, record) + self.costs.pte_update
-                    if batch >= SWEEP_YIELD_CYCLES:
-                        yield batch
-                        batch = 0
-                if batch:
-                    yield batch
+                yield from self.sweep_pages_concurrent(
+                    core, targets, record, extra_per_page=self.costs.pte_update
+                )
                 per_pass.append(record.pages_swept - before)
             yield self.machine.tlb_shootdown()
         finally:
@@ -78,8 +72,9 @@ class MultipassCornucopiaRevoker(CornucopiaRevoker):
         yield self.stw_entry_cycles()
         scan_cycles, _ = self.scan_roots(record)
         yield scan_cycles
-        for pte in self.machine.pagetable.redirtied_pages():
-            yield self.sweep_page(core, pte, record)
+        yield from self.sweep_pages_stw(
+            core, self.machine.pagetable.redirtied_pages(), record
+        )
         yield ResumeWorld()
         self._phase(record, "stw", "stw", stw_begin, slot.time)
 

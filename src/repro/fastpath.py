@@ -1,0 +1,27 @@
+"""The vectorized/scalar execution-mode switch.
+
+The simulation's hot paths — the revokers' per-page granule scan and the
+cache's page/range streaming — each exist twice: a batched, numpy/
+C-speed fast path (the default) and the original per-element scalar
+loop, kept as the executable reference model. Both produce bit-identical
+results (counters, cycles, cache state); the equivalence suite in
+``tests/test_sweep_equivalence.py`` pins that.
+
+Set ``REPRO_SCALAR=1`` to force every fast path back onto the scalar
+reference implementation — for debugging a suspected fast-path bug, for
+perf comparison (``benchmarks/bench_sweep_micro.py`` measures both
+sides), or just to read the model the vector code must match.
+
+The flag is re-read on every query so tests can flip it per-case with
+``monkeypatch.setenv``; the lookup is two dict probes, far below the
+cost of the work it gates.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scalar_mode() -> bool:
+    """Whether ``REPRO_SCALAR`` forces the scalar reference paths."""
+    return os.environ.get("REPRO_SCALAR", "0") not in ("0", "")

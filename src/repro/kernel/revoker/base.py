@@ -12,14 +12,23 @@ The sweep inner loop is the paper's: for each tagged granule of a page,
 probe the revocation bitmap with the capability's *base*; clear the tag if
 painted (§2.2.2). Traffic is charged through the executing core's cache —
 the page's 64 lines plus the 32 bytes of shadow bitmap it maps to.
+
+The granule scan runs vectorized by default (one numpy gather of the
+page's tagged bases against the shadow bitmap, one masked store to clear
+revoked tags — what a hardware sweep engine would pipeline); the original
+per-granule loop remains as the reference model behind ``REPRO_SCALAR=1``
+(see :mod:`repro.fastpath`).
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Generator
+from typing import Generator, Iterable
 
+import numpy as np
+
+from repro.fastpath import scalar_mode
 from repro.kernel.epoch import EpochClock
 from repro.kernel.hoards import KernelHoards, RegisterFile, ScanOutcome
 from repro.kernel.shadow import RevocationBitmap
@@ -150,13 +159,10 @@ class Revoker(abc.ABC):
         for the application — the cache-warming effect §5.6 observes.
         """
         memory = self.machine.memory
-        tagged = memory.tagged_granules_in_page(pte.vpn)
-        revoked = 0
-        for granule in tagged:
-            cap = memory.cap_at_granule(granule)
-            if self.shadow.is_revoked(cap):
-                memory.clear_tag_at_granule(granule)
-                revoked += 1
+        if scalar_mode():
+            n_tagged, revoked = self._scan_page_scalar(memory, pte.vpn)
+        else:
+            n_tagged, revoked = self._scan_page_vector(memory, pte.vpn)
         if warm_cache:
             misses = core.cache.access_page(pte.vpn, write=revoked > 0)
         elif self.costs.tag_table_sweep:
@@ -165,7 +171,7 @@ class Revoker(abc.ABC):
             # A page's tags are 32 bytes of tag table: about one line per
             # two pages, charged via shadow-style amortized access below.
             data_lines = min(
-                LINES_PER_PAGE, len(tagged) * self.costs.tag_sweep_lines_per_cap
+                LINES_PER_PAGE, n_tagged * self.costs.tag_sweep_lines_per_cap
             )
             misses = data_lines + 1  # + the tag-table line (amortized high)
             core.bus.read(core.name, misses)
@@ -184,7 +190,7 @@ class Revoker(abc.ABC):
         shadow_addr = self.shadow.shadow_addr_of_granule(g0)
         misses += core.cache.access_range(shadow_addr, 32)
         cycles = (
-            self.costs.page_sweep_cycles(len(tagged), revoked)
+            self.costs.page_sweep_cycles(n_tagged, revoked)
             + misses * self.costs.mem_stream
         )
         if revoked and not pte.writable:
@@ -196,9 +202,77 @@ class Revoker(abc.ABC):
         pte.swept_this_epoch = True
         pte.redirtied = False
         record.pages_swept += 1
-        record.caps_checked += len(tagged)
+        record.caps_checked += n_tagged
         record.caps_revoked += revoked
         return cycles
+
+    # The granule scan exists twice: the scalar reference model below and
+    # the vectorized fast path (the default; ``REPRO_SCALAR=1`` selects
+    # the reference). Both return (tagged, revoked) counts and leave
+    # memory in the same state; tests/test_sweep_equivalence.py pins the
+    # equivalence on full fixed-seed runs.
+
+    def _scan_page_scalar(self, memory, vpn: int) -> tuple[int, int]:
+        """Reference scan: probe each tagged granule's base one at a time."""
+        tagged = memory.tagged_granules_in_page(vpn)
+        revoked = 0
+        for granule in tagged:
+            cap = memory.cap_at_granule(granule)
+            if self.shadow.is_revoked(cap):
+                memory.clear_tag_at_granule(granule)
+                revoked += 1
+        return len(tagged), revoked
+
+    def _scan_page_vector(self, memory, vpn: int) -> tuple[int, int]:
+        """Vector scan: gather every tagged granule's capability base,
+        probe the shadow bitmap in one vector op, clear revoked tags as
+        one masked store."""
+        tags, bases = memory.page_tag_arrays(vpn)
+        idx = np.flatnonzero(tags)
+        if not idx.size:
+            return 0, 0
+        condemned = self.shadow.probe_bases(bases[idx])
+        revoked = int(np.count_nonzero(condemned))
+        if revoked:
+            g0, _ = memory.page_granule_range(vpn)
+            memory.clear_granules(idx[condemned] + g0)
+        return int(idx.size), revoked
+
+    def sweep_pages_concurrent(
+        self,
+        core: Core,
+        pages: Iterable[PTE],
+        record: EpochRecord,
+        *,
+        extra_per_page: int = 0,
+    ) -> Generator:
+        """Sweep ``pages`` concurrently, yielding accumulated cycles in
+        :data:`SWEEP_YIELD_CYCLES` batches (the common revoker inner
+        loop; ``extra_per_page`` covers per-page PTE bookkeeping)."""
+        batch = 0
+        for pte in pages:
+            batch += self.sweep_page(core, pte, record) + extra_per_page
+            if batch >= SWEEP_YIELD_CYCLES:
+                yield batch
+                batch = 0
+        if batch:
+            yield batch
+
+    def sweep_pages_stw(
+        self, core: Core, pages: Iterable[PTE], record: EpochRecord
+    ) -> Generator:
+        """Sweep ``pages`` with the world stopped, yielding cycles in
+        coarse batches. Nothing else can run during a stop-the-world, so
+        batching the yields is free — the pause ends at the same cycle —
+        and saves one scheduler step per page."""
+        batch = 0
+        for pte in pages:
+            batch += self.sweep_page(core, pte, record)
+            if batch >= SWEEP_YIELD_CYCLES:
+                yield batch
+                batch = 0
+        if batch:
+            yield batch
 
     def gen_only_visit(self, pte: PTE, record: EpochRecord) -> int:
         """Update a capability-clean page's generation without reading its

@@ -31,8 +31,11 @@ class CheriVokeRevoker(Revoker):
         scan_cycles, _ = self.scan_roots(record)
         yield scan_cycles
         # Sweep everything that may hold capabilities, world stopped.
-        for pte in self.machine.pagetable.cap_dirty_pages():
-            yield self.sweep_page(core, pte, record)
+        # (Batched yields: same pause end-cycle, one scheduler step per
+        # ~SWEEP_YIELD_CYCLES instead of one per page.)
+        yield from self.sweep_pages_stw(
+            core, self.machine.pagetable.cap_dirty_pages(), record
+        )
         yield ResumeWorld()
         self._phase(record, "sweep", "stw", stw_begin, slot.time)
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.kernel.revoker.base import SWEEP_YIELD_CYCLES as _SWEEP_YIELD_CYCLES
 from repro.kernel.revoker.base import Revoker
 from repro.machine.cpu import Core
 from repro.machine.scheduler import CoreSlot, ResumeWorld, StopWorld
@@ -39,14 +38,12 @@ class CornucopiaRevoker(Revoker):
         concurrent_begin = slot.time
         self.machine.bus.sweep_begin()
         try:
-            batch = 0
-            for pte in self.machine.pagetable.cap_dirty_pages():
-                batch += self.sweep_page(core, pte, record) + self.costs.pte_update
-                if batch >= _SWEEP_YIELD_CYCLES:
-                    yield batch
-                    batch = 0
-            if batch:
-                yield batch
+            yield from self.sweep_pages_concurrent(
+                core,
+                self.machine.pagetable.cap_dirty_pages(),
+                record,
+                extra_per_page=self.costs.pte_update,
+            )
         finally:
             self.machine.bus.sweep_end()
         # One batched shootdown publishes the cleaned state (the original
@@ -60,8 +57,9 @@ class CornucopiaRevoker(Revoker):
         yield self.stw_entry_cycles()
         scan_cycles, _ = self.scan_roots(record)
         yield scan_cycles
-        for pte in self.machine.pagetable.redirtied_pages():
-            yield self.sweep_page(core, pte, record)
+        yield from self.sweep_pages_stw(
+            core, self.machine.pagetable.redirtied_pages(), record
+        )
         yield ResumeWorld()
         self._phase(record, "stw", "stw", stw_begin, slot.time)
 

@@ -96,6 +96,7 @@ class ReloadedRevoker(Revoker):
         self.machine.bus.sweep_begin()
         try:
             batch = 0
+            per_page = self.costs.pmap_lock + self.costs.pte_update
             for pte in self.machine.pagetable.mapped_pages():
                 if pte.guard or pte.lg == new_lg:
                     continue  # foreground fault already healed it, or guard
@@ -104,7 +105,7 @@ class ReloadedRevoker(Revoker):
                 else:
                     cycles = self.gen_only_visit(pte, record)
                 pte.lg = new_lg
-                batch += cycles + self.costs.pmap_lock + self.costs.pte_update
+                batch += cycles + per_page
                 if batch >= _SWEEP_YIELD_CYCLES:
                     yield batch
                     batch = 0

@@ -81,6 +81,15 @@ class RevocationBitmap:
         self.painted_granules -= cleared
         return g1 - g0
 
+    def unpaint_many(self, regions) -> int:
+        """Clear the bits of many ``(addr, nbytes)`` regions in one call
+        (quarantine batch release); returns total granules spanned —
+        the Python-loop overhead stays here instead of in every caller."""
+        total = 0
+        for addr, nbytes in regions:
+            total += self.unpaint(addr, nbytes)
+        return total
+
     # --- Probing (kernel side) ----------------------------------------------------
 
     def is_revoked(self, cap: Capability) -> bool:
@@ -90,6 +99,21 @@ class RevocationBitmap:
         if g >= self.num_granules:
             return False
         return bool(self._bits[g])
+
+    def probe_bases(self, bases: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_revoked`: probe many capability bases in
+        one gather; returns a bool array aligned with ``bases``.
+
+        Bases past the end of the bitmap read as not-condemned, matching
+        the scalar probe's out-of-range rule.
+        """
+        g = bases // GRANULE_BYTES
+        in_range = g < self.num_granules
+        if in_range.all():
+            return self._bits[g]
+        out = np.zeros(len(g), dtype=bool)
+        out[in_range] = self._bits[g[in_range]]
+        return out
 
     def is_painted_addr(self, addr: int) -> bool:
         return bool(self._bits[addr // GRANULE_BYTES])

@@ -16,8 +16,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import islice, repeat
 
+from repro.errors import SimulationError
+from repro.fastpath import scalar_mode
 from repro.machine.costs import LINE_BYTES, LINES_PER_PAGE
+
+#: Spans at or below this many lines go straight to the scalar loop:
+#: the batched path's setup costs more than it saves on tiny accesses
+#: (ordinary data loads/stores touch one or two lines).
+_SPAN_BATCH_MIN_LINES = 4
 
 
 @dataclass
@@ -62,8 +70,9 @@ class Bus:
         self._sweepers += 1
 
     def sweep_end(self) -> None:
+        if self._sweepers <= 0:
+            raise SimulationError("sweep_end without a matching sweep_begin")
         self._sweepers -= 1
-        assert self._sweepers >= 0
 
     @property
     def sweep_active(self) -> bool:
@@ -75,7 +84,10 @@ class Bus:
         return sum(c.total for c in self.counters.values())
 
     def transactions(self, source: str) -> int:
-        return self._of(source).total
+        # Pure read: must not materialize a counter for an unknown source
+        # (that would pollute snapshot()/total_transactions()).
+        counters = self.counters.get(source)
+        return counters.total if counters is not None else 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: c.total for name, c in self.counters.items()}
@@ -116,6 +128,71 @@ class Cache:
         lines[line] = write
         return True
 
+    def _touch_loop(self, first: int, last: int, write: bool) -> int:
+        """The scalar reference path: one :meth:`_touch` per line."""
+        misses = 0
+        for line in range(first, last + 1):
+            if self._touch(line, write):
+                misses += 1
+        return misses
+
+    def _touch_span(self, first: int, last: int, write: bool) -> int:
+        """Batched equivalent of :meth:`_touch_loop` over ``[first, last]``.
+
+        Computes hits, misses, and evictions with set/interval arithmetic
+        over the LRU dict instead of per-line bookkeeping. Exactly
+        bit-equivalent to the scalar loop — including final LRU order (the
+        span's lines end up most-recent in ascending address order) and
+        dirty-victim write-backs — except in two rare interleavings it
+        detects and punts to the loop: the span is larger than the
+        remaining capacity headroom allows without evicting lines the span
+        itself (re)inserted, or one of the would-be victims is a span line
+        the loop would have refreshed first.
+        """
+        lines = self._lines
+        span = range(first, last + 1)
+        n = len(span)
+        resident = lines.keys() & span
+        nhits = len(resident)
+        misses = n - nhits
+        evictions = len(lines) + misses - self.capacity_lines
+        if evictions > 0:
+            if evictions > len(lines) - nhits:
+                # Victims would include span lines inserted by this very
+                # access (capacity smaller than the span's footprint).
+                return self._touch_loop(first, last, write)
+            victims = tuple(islice(lines, evictions))
+            if not resident.isdisjoint(victims):
+                # An LRU-front span line would be refreshed mid-loop and
+                # escape eviction; the interleaving matters — replay it.
+                return self._touch_loop(first, last, write)
+        else:
+            victims = ()
+        self.hits += nhits
+        self.misses += misses
+        pop = lines.pop
+        if misses:
+            self.bus.read(self.source, misses)
+        if victims:
+            dirty_victims = 0
+            for line in victims:
+                if pop(line):
+                    dirty_victims += 1
+            if dirty_victims:
+                self.bus.write(self.source, dirty_victims)
+        # Reinsert the whole span at the MRU end in ascending order, as
+        # the ascending scalar loop leaves it.
+        if write:
+            for line in resident:
+                pop(line)
+            lines.update(zip(span, repeat(True)))
+        elif not nhits:
+            lines.update(zip(span, repeat(False)))
+        else:
+            flags = [pop(line) if line in resident else False for line in span]
+            lines.update(zip(span, flags))
+        return misses
+
     def access(self, addr: int, write: bool = False) -> bool:
         """Access the line containing ``addr``; returns True on a miss."""
         return self._touch(addr // LINE_BYTES, write)
@@ -126,21 +203,18 @@ class Cache:
             return 0
         first = addr // LINE_BYTES
         last = (addr + nbytes - 1) // LINE_BYTES
-        misses = 0
-        for line in range(first, last + 1):
-            if self._touch(line, write):
-                misses += 1
-        return misses
+        if last - first < _SPAN_BATCH_MIN_LINES or scalar_mode():
+            return self._touch_loop(first, last, write)
+        return self._touch_span(first, last, write)
 
     def access_page(self, vpn: int, write: bool = False) -> int:
         """Stream one whole page through the cache (a sweep visit);
         returns the number of lines that missed."""
         base_line = vpn * LINES_PER_PAGE
-        misses = 0
-        for line in range(base_line, base_line + LINES_PER_PAGE):
-            if self._touch(line, write):
-                misses += 1
-        return misses
+        last = base_line + LINES_PER_PAGE - 1
+        if scalar_mode():
+            return self._touch_loop(base_line, last, write)
+        return self._touch_span(base_line, last, write)
 
     def invalidate_page(self, vpn: int) -> None:
         """Drop all lines of a page (page reuse after unmap)."""

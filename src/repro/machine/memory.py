@@ -42,6 +42,12 @@ class TaggedMemory:
         self.num_pages = size_bytes // PAGE_BYTES
         #: One bool per granule: the architectural tag bits.
         self.tags = np.zeros(self.num_granules, dtype=bool)
+        #: Per-granule capability *base* addresses, valid only where the
+        #: tag bit is set (stale values persist after tag clears — every
+        #: reader must mask through :attr:`tags` first). This is what lets
+        #: the revocation sweep probe a whole page's capabilities against
+        #: the shadow bitmap in one vector op.
+        self.cap_bases = np.zeros(self.num_granules, dtype=np.int64)
         #: Capability values for tagged granules only.
         self._caps: dict[int, Capability] = {}
 
@@ -71,6 +77,7 @@ class TaggedMemory:
         g = self._check_granule_aligned(addr)
         if cap.tag:
             self.tags[g] = True
+            self.cap_bases[g] = cap.base
             self._caps[g] = cap
         else:
             self.tags[g] = False
@@ -129,6 +136,26 @@ class TaggedMemory:
         """Granule indices within page ``vpn`` that currently hold tags."""
         g0, g1 = self.page_granule_range(vpn)
         return [int(g) + g0 for g in np.flatnonzero(self.tags[g0:g1])]
+
+    def page_tag_arrays(self, vpn: int) -> tuple[np.ndarray, np.ndarray]:
+        """(tags, bases) views over page ``vpn``'s granules.
+
+        Both are live numpy views (no copies); ``bases`` entries are only
+        meaningful where the corresponding ``tags`` entry is True. This is
+        the sweep fast path's input: probe every tagged granule's base
+        against the revocation bitmap in one gather.
+        """
+        g0, g1 = self.page_granule_range(vpn)
+        return self.tags[g0:g1], self.cap_bases[g0:g1]
+
+    def clear_granules(self, granules: np.ndarray) -> None:
+        """Revoke a batch of granules: clear their tags as one masked
+        store and drop their capability values (the vector counterpart of
+        :meth:`clear_tag_at_granule`)."""
+        self.tags[granules] = False
+        pop = self._caps.pop
+        for g in granules.tolist():
+            pop(g, None)
 
     def page_tag_count(self, vpn: int) -> int:
         g0, g1 = self.page_granule_range(vpn)

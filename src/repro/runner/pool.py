@@ -72,7 +72,9 @@ def default_timeout_s() -> float | None:
         value = float(raw)
     except ValueError:
         raise ConfigError(f"REPRO_JOB_TIMEOUT={raw!r} is not a number") from None
-    return value if value > 0 else None
+    if value <= 0:
+        raise ConfigError(f"REPRO_JOB_TIMEOUT must be > 0 seconds, got {value}")
+    return value
 
 
 def _mp_context():
@@ -127,6 +129,8 @@ def run_jobs(
         timeout_s = default_timeout_s()
     if progress is None:
         progress = CampaignProgress(len(jobs), echo=env_echo())
+    if progress.workers is None:
+        progress.workers = max_workers
 
     results: list[RunResult | None] = [None] * len(jobs)
     fingerprints: list[str | None] = [None] * len(jobs)

@@ -11,6 +11,7 @@ CI smoke job greps it).
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 import time
@@ -38,9 +39,17 @@ class CampaignProgress:
     estimate absurdly optimistic.
     """
 
-    def __init__(self, total: int, echo: Echo | None = None) -> None:
+    def __init__(
+        self,
+        total: int,
+        echo: Echo | None = None,
+        workers: int | None = None,
+    ) -> None:
         self.total = total
         self.echo = echo
+        #: Worker processes draining the queue; the pool fills this in
+        #: (when left None) so the ETA reflects parallelism. 1 = serial.
+        self.workers = workers
         self.done = 0
         self.cache_hits = 0
         self.fresh = 0
@@ -85,12 +94,18 @@ class CampaignProgress:
 
     def eta_seconds(self) -> float | None:
         """Projected seconds to finish the remaining jobs, or None until
-        a fresh job has completed to calibrate on."""
+        a fresh job has completed to calibrate on.
+
+        The remaining jobs drain ``workers`` at a time, so the projection
+        is mean x ceil(remaining / workers) — not remaining x mean, which
+        overestimates by ~the worker count under ``REPRO_JOBS=N``.
+        """
         mean = self.mean_fresh_seconds()
         remaining = self.total - self.done
         if mean is None or remaining <= 0:
             return None
-        return remaining * mean
+        workers = max(1, self.workers or 1)
+        return mean * math.ceil(remaining / workers)
 
     def elapsed_seconds(self) -> float:
         return time.monotonic() - self._started

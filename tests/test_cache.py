@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.errors import SimulationError
 from repro.machine.cache import Bus, Cache
 from repro.machine.costs import LINES_PER_PAGE
 
@@ -119,3 +122,87 @@ class TestBus:
         assert bus.sweep_active
         bus.sweep_end()
         assert not bus.sweep_active
+
+    def test_transactions_query_does_not_mutate(self, bus):
+        """Querying an unknown source must not create a zero counter that
+        pollutes snapshot()/total_transactions()."""
+        assert bus.transactions("ghost") == 0
+        assert bus.snapshot() == {}
+        assert bus.total_transactions() == 0
+        assert "ghost" not in bus.counters
+
+    def test_unbalanced_sweep_end_raises(self, bus):
+        with pytest.raises(SimulationError):
+            bus.sweep_end()
+        bus.sweep_begin()
+        bus.sweep_end()
+        with pytest.raises(SimulationError):
+            bus.sweep_end()
+
+
+def _mirror_states(a: Cache, b: Cache) -> tuple:
+    return (
+        (list(a._lines.items()), a.hits, a.misses,
+         {k: (v.reads, v.writes) for k, v in a.bus.counters.items()}),
+        (list(b._lines.items()), b.hits, b.misses,
+         {k: (v.reads, v.writes) for k, v in b.bus.counters.items()}),
+    )
+
+
+class TestBatchedEquivalence:
+    """The batched span path must be bit-identical to the per-line loop:
+    same miss counts, same bus traffic, same hit/miss counters, and the
+    same final LRU order and dirty bits."""
+
+    @pytest.mark.parametrize("capacity", [64, 128, 1024, 4096, 1 << 20])
+    def test_random_mixes_match_scalar(self, capacity):
+        rng = random.Random(capacity)
+        fast, ref = Cache(Bus(), "c", capacity), Cache(Bus(), "c", capacity)
+        for _ in range(120):
+            write = rng.random() < 0.5
+            if rng.random() < 0.5:
+                addr = rng.randrange(0, 1 << 16)
+                nbytes = rng.randrange(1, 700)
+                first = addr // 64
+                last = (addr + nbytes - 1) // 64
+                got = fast.access_range(addr, nbytes, write)
+            else:
+                vpn = rng.randrange(0, 20)
+                first = vpn * LINES_PER_PAGE
+                last = first + LINES_PER_PAGE - 1
+                got = fast.access_page(vpn, write)
+            want = ref._touch_loop(first, last, write)
+            assert got == want
+            state_fast, state_ref = _mirror_states(fast, ref)
+            assert state_fast == state_ref
+
+    def test_page_stream_smaller_than_cache_footprint(self):
+        # Capacity below one page: the span must self-evict exactly as
+        # the scalar loop does (the batched path punts to it).
+        fast, ref = Cache(Bus(), "c", 1024), Cache(Bus(), "c", 1024)
+        assert fast.access_page(0) == ref._touch_loop(0, LINES_PER_PAGE - 1, False)
+        assert fast.access_page(0, write=True) == ref._touch_loop(
+            0, LINES_PER_PAGE - 1, True
+        )
+        state_fast, state_ref = _mirror_states(fast, ref)
+        assert state_fast == state_ref
+
+    def test_lru_front_hit_inside_span(self):
+        # A span line sitting at the LRU front while the span also evicts:
+        # the interleaving-sensitive case the fast path must replay.
+        fast, ref = Cache(Bus(), "c", 1024), Cache(Bus(), "c", 1024)  # 16 lines
+        for cache in (fast, ref):
+            cache.access(5 * 64, write=True)  # page-0 line, oldest, dirty
+            for i in range(15):
+                cache.access((100 + i) * 64)  # fill the rest
+        got = fast.access_range(0, 8 * 64)  # spans lines 0-7 incl. line 5
+        want = ref._touch_loop(0, 7, False)
+        assert got == want
+        state_fast, state_ref = _mirror_states(fast, ref)
+        assert state_fast == state_ref
+
+    def test_scalar_env_forces_reference_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR", "1")
+        cache = Cache(Bus(), "c", 1 << 20)
+        assert cache.access_page(3) == LINES_PER_PAGE
+        assert cache.access_page(3) == 0

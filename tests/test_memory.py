@@ -147,3 +147,43 @@ class TestPageQueries:
             mem.store_cap(addr, a_cap())
         seen = {g * GRANULE_BYTES for g, _ in mem.iter_tagged()}
         assert seen == set(addrs)
+
+
+class TestVectorViews:
+    """The per-page tag/base arrays feeding the vectorized sweep."""
+
+    def test_cap_bases_track_stores(self, mem):
+        cap = Capability.root(0x4000, 64)
+        mem.store_cap(0x1000, cap)
+        assert mem.cap_bases[0x1000 // GRANULE_BYTES] == 0x4000
+
+    def test_page_tag_arrays_are_views(self, mem):
+        mem.store_cap(0x1000, Capability.root(0x8000, 32))
+        vpn = 0x1000 // PAGE_BYTES
+        tags, bases = mem.page_tag_arrays(vpn)
+        assert len(tags) == GRANULES_PER_PAGE and len(bases) == GRANULES_PER_PAGE
+        off = (0x1000 % PAGE_BYTES) // GRANULE_BYTES
+        assert tags[off] and bases[off] == 0x8000
+        # Live views: a store through the memory shows up immediately.
+        mem.store_cap(0x1010, Capability.root(0x9000, 32))
+        assert tags[off + 1] and bases[off + 1] == 0x9000
+
+    def test_bases_only_meaningful_under_tags(self, mem):
+        mem.store_cap(0x1000, Capability.root(0x8000, 32))
+        mem.store_data(0x1000, 16)  # clears the tag, base value is stale
+        tags, bases = mem.page_tag_arrays(0x1000 // PAGE_BYTES)
+        assert not tags[0]
+        granules = mem.tagged_granules_in_page(0x1000 // PAGE_BYTES)
+        assert granules == []
+
+    def test_clear_granules_matches_scalar_clear(self, mem):
+        import numpy as np
+
+        for i in range(4):
+            mem.store_cap(0x2000 + i * GRANULE_BYTES, a_cap())
+        g0 = 0x2000 // GRANULE_BYTES
+        mem.clear_granules(np.array([g0, g0 + 2]))
+        assert mem.tagged_granules_in_page(0x2000 // PAGE_BYTES) == [g0 + 1, g0 + 3]
+        assert mem.load_cap(0x2000) is None
+        assert mem.load_cap(0x2020) is None
+        assert mem.total_tags == 2

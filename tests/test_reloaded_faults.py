@@ -1,0 +1,92 @@
+"""Edge cases of Reloaded's foreground load-generation fault handler.
+
+`handle_lg_fault` has three outcomes (§4.3): the real foreground sweep,
+the *spurious* fault (the page was already processed and only the local
+TLB is stale — first pmap check), and the invariant-violation error when
+a stale page faults with no epoch in flight. The happy path is covered
+by the revoker integration tests; these pin the other two plus the
+counter/cycle accounting that fig. 9 reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.revoker.base import EpochRecord
+from repro.kernel.revoker.reloaded import ReloadedRevoker
+from repro.machine.costs import PAGE_BYTES
+
+from tests.test_revokers import Rig
+
+
+@pytest.fixture
+def rig() -> Rig:
+    return Rig(ReloadedRevoker)
+
+
+class TestSpuriousFault:
+    def test_spurious_when_pte_generation_current(self, rig):
+        """pte.lg == core.clg: another core already healed the page; the
+        handler only refills the TLB and charges the short path."""
+        vpn = rig.heap.base // PAGE_BYTES
+        costs = rig.revoker.costs
+        cycles = rig.revoker.handle_lg_fault(rig.core_app, vpn)
+        assert cycles == costs.trap_roundtrip + costs.pmap_lock + costs.tlb_refill
+        assert rig.revoker.spurious_faults == 1
+        assert rig.revoker.foreground_faults == 0
+
+    def test_spurious_fault_refills_tlb(self, rig):
+        rig.plant(0, rig.heap.base + 0x1000)
+        vpn = rig.heap.base // PAGE_BYTES
+        rig.revoker.handle_lg_fault(rig.core_app, vpn)
+        # The refill must leave the page loadable without another trap.
+        src = rig.heap.with_address(rig.heap.base)
+        assert rig.core_app.load_cap(src).value is not None
+
+    def test_stale_tlb_after_epoch_is_spurious(self, rig):
+        """End-to-end: after an epoch the background pass has healed every
+        PTE, but the app core's TLB still holds the old generation — its
+        next capability load traps and must resolve as spurious."""
+        rig.plant(0, rig.heap.base + 0x1000)
+        assert rig.loaded(0) is not None  # populate the TLB pre-epoch
+        rig.run_epoch()
+        assert rig.loaded(0) is not None
+        assert rig.revoker.spurious_faults == 1
+        assert rig.revoker.foreground_faults == 0
+
+
+class TestForegroundFault:
+    def test_real_fault_sweeps_and_heals(self, rig):
+        """A genuinely stale page mid-epoch: the handler sweeps it on the
+        faulting core, heals the PTE, and books the fault on the record."""
+        victim = rig.plant(0, rig.heap.base + 0x1000)
+        rig.condemn(victim.base)
+        record = EpochRecord(epoch=1)
+        rig.revoker._current_record = record
+        rig.core_app.flip_clg()
+        vpn = rig.heap.base // PAGE_BYTES
+        cycles = rig.revoker.handle_lg_fault(rig.core_app, vpn)
+        pte = rig.machine.pagetable.require(vpn)
+        assert pte.lg == rig.core_app.clg
+        assert rig.revoker.foreground_faults == 1
+        assert rig.revoker.spurious_faults == 0
+        assert record.fault_count == 1
+        assert record.fault_cycles == cycles
+        assert record.caps_revoked == 1
+        # The condemned capability is gone from the swept page.
+        src = rig.heap.with_address(rig.heap.base)
+        assert rig.core_app.load_cap(src).value is None
+
+
+class TestNoEpochInFlight:
+    def test_stale_page_outside_epoch_raises(self, rig):
+        """A stale-generation fault with no epoch open is an invariant
+        violation, not a recoverable condition."""
+        rig.core_app.flip_clg()  # pte.lg != core.clg, no record open
+        vpn = rig.heap.base // PAGE_BYTES
+        assert rig.revoker._current_record is None
+        with pytest.raises(RuntimeError, match="no epoch in flight"):
+            rig.revoker.handle_lg_fault(rig.core_app, vpn)
+        # Nothing was booked for the failed fault.
+        assert rig.revoker.foreground_faults == 0
+        assert rig.revoker.spurious_faults == 0

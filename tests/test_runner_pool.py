@@ -26,7 +26,11 @@ from repro.runner import (
     run_jobs,
 )
 from repro.runner.campaign import register_workload
-from repro.runner.pool import CampaignJobError, default_max_workers
+from repro.runner.pool import (
+    CampaignJobError,
+    default_max_workers,
+    default_timeout_s,
+)
 from repro.runner.serialize import dumps_result
 from repro.workloads.base import Workload
 
@@ -224,3 +228,49 @@ class TestProgress:
         progress.job_finished("job-b", cached=False, elapsed=1.0)
         assert any("job-a" in line and "cache" in line for line in lines)
         assert any("retry" in line for line in lines)
+
+    def test_eta_accounts_for_workers(self):
+        # 16 remaining jobs at 2s each across 8 workers drain in two
+        # waves, not 32 serial seconds.
+        progress = CampaignProgress(17, workers=8)
+        progress.job_finished("a", cached=False, elapsed=2.0)
+        assert progress.eta_seconds() == pytest.approx(4.0)
+
+    def test_eta_rounds_partial_wave_up(self):
+        # 3 jobs on 2 workers is two waves (2 + 1), not 1.5.
+        progress = CampaignProgress(4, workers=2)
+        progress.job_finished("a", cached=False, elapsed=2.0)
+        assert progress.eta_seconds() == pytest.approx(4.0)
+
+    def test_run_jobs_fills_worker_count(self):
+        progress = CampaignProgress(1)
+        assert progress.workers is None
+        run_jobs([_SPEC_JOB], max_workers=4, progress=progress)
+        assert progress.workers == 4
+
+
+class TestTimeoutKnob:
+    def test_unset_means_no_timeout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        assert default_timeout_s() is None
+
+    def test_positive_value_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "2.5")
+        assert default_timeout_s() == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("raw", ["0", "-1", "-0.5"])
+    def test_non_positive_rejected(self, monkeypatch, raw):
+        # <= 0 used to silently disable the timeout; it must be loud
+        # like every other bad knob value.
+        from repro.errors import ConfigError
+
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", raw)
+        with pytest.raises(ConfigError, match="REPRO_JOB_TIMEOUT"):
+            default_timeout_s()
+
+    def test_garbage_rejected(self, monkeypatch):
+        from repro.errors import ConfigError
+
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "soon")
+        with pytest.raises(ConfigError):
+            default_timeout_s()

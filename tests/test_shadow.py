@@ -92,3 +92,45 @@ class TestShadowAddressing:
 
     def test_shadow_addresses_beyond_memory(self, shadow):
         assert shadow.shadow_addr_of_granule(0) >= shadow.size_bytes
+
+
+class TestVectorProbe:
+    """probe_bases must agree with is_revoked element for element."""
+
+    def test_matches_scalar_probe(self, shadow):
+        import numpy as np
+
+        shadow.paint(0x1000, 256)
+        bases = np.array([0x0, 0x1000, 0x1050, 0x1100, 0x2000])
+        got = shadow.probe_bases(bases)
+        want = [shadow.is_revoked(Capability.root(int(b), 16)) for b in bases]
+        assert got.tolist() == want
+
+    def test_out_of_range_bases_read_unpainted(self, shadow):
+        import numpy as np
+
+        shadow.paint(0, shadow.size_bytes)
+        bases = np.array([0, shadow.size_bytes, shadow.size_bytes * 4])
+        assert shadow.probe_bases(bases).tolist() == [True, False, False]
+
+    @given(
+        start_g=st.integers(0, 1000),
+        len_g=st.integers(1, 64),
+        probes=st.lists(st.integers(0, 1100), min_size=1, max_size=16),
+    )
+    def test_property_matches_scalar(self, start_g, len_g, probes):
+        import numpy as np
+
+        shadow = RevocationBitmap(1 << 20)
+        shadow.paint(start_g * 16, len_g * 16)
+        bases = np.array([g * 16 for g in probes])
+        got = shadow.probe_bases(bases)
+        want = [shadow.is_revoked(Capability.root(g * 16, 16)) for g in probes]
+        assert got.tolist() == want
+
+    def test_unpaint_many_clears_all_regions(self, shadow):
+        shadow.paint(0x1000, 256)
+        shadow.paint(0x4000, 128)
+        cleared = shadow.unpaint_many([(0x1000, 256), (0x4000, 128)])
+        assert cleared == (256 + 128) // 16
+        assert not shadow.any_painted
