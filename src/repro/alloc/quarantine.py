@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.alloc.snmalloc import FreedRegion
 from repro.kernel.epoch import release_epoch_for
+from repro.obs.tracer import TRACER
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,10 @@ class Quarantine:
         self.pending_bytes += region.size
         self.lifetime_bytes += region.size
         self.peak_bytes = max(self.peak_bytes, self.total_bytes)
+        if TRACER.enabled:
+            TRACER.emit(
+                "quarantine.fill", bytes=region.size, total=self.total_bytes
+            )
 
     def seal(self, observed_epoch: int) -> SealedBatch:
         """Seal the pending buffer into a batch awaiting revocation."""
@@ -96,10 +101,21 @@ class Quarantine:
         self.pending = []
         self.pending_bytes = 0
         self.sealed.append(batch)
+        if TRACER.enabled:
+            TRACER.emit(
+                "quarantine.seal", bytes=batch.bytes, epoch=observed_epoch
+            )
         return batch
 
     def releasable(self, epoch_counter: int) -> list[SealedBatch]:
         """Pop and return every sealed batch whose release epoch has come."""
         ready = [b for b in self.sealed if epoch_counter >= b.release_at]
         self.sealed = [b for b in self.sealed if epoch_counter < b.release_at]
+        if TRACER.enabled and ready:
+            TRACER.emit(
+                "quarantine.drain",
+                batches=len(ready),
+                bytes=sum(b.bytes for b in ready),
+                epoch=epoch_counter,
+            )
         return ready

@@ -9,6 +9,7 @@ detail behind figures 7-9 and tables 1-2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.config import RevokerKind
 from repro.kernel.revoker.base import EpochRecord
@@ -54,6 +55,11 @@ class RunResult:
     epoch_records: list[EpochRecord] = field(default_factory=list)
     #: Completed transactions / requests with their latencies (figs. 7-8).
     latencies: list[LatencySample] = field(default_factory=list)
+    #: Observability fold: the run's :class:`~repro.obs.metrics.MetricsRegistry`
+    #: snapshot (``counters`` + ``histograms``), populated only when the
+    #: tracer was enabled for the run; empty otherwise. Plain JSON-able
+    #: data so results round-trip through the campaign cache unchanged.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     # Allocator / quarantine statistics (table 2).
     revocations: int = 0

@@ -33,6 +33,7 @@ from repro.machine.capability import Capability
 from repro.machine.machine import Machine
 from repro.machine.scheduler import Sleep, Thread
 from repro.machine.trap import LoadGenerationFault
+from repro.obs.tracer import TRACER
 from repro.workloads.base import Workload
 
 _REVOKER_CLASSES = {
@@ -202,6 +203,10 @@ class Simulation:
             raise SimulationError("a Simulation can only run once")
         self._ran = True
         sched = self.machine.scheduler
+        if TRACER.enabled and TRACER.clock is None:
+            # Hooks that have no per-core clock (quarantine, epoch ticks)
+            # stamp events with the scheduler's wall clock.
+            TRACER.clock = sched.current_time
 
         app_threads: list[Thread] = []
         for i, (name, body) in enumerate(self.workload.thread_bodies()):
@@ -272,4 +277,29 @@ class Simulation:
         else:
             result.sum_freed_bytes = self.alloc.total_freed_bytes
             result.mean_alloc_bytes = float(self.alloc.allocated_bytes)
+        if TRACER.enabled:
+            self._fold_metrics(result)
         return result
+
+    def _fold_metrics(self, result: RunResult) -> None:
+        """Fold per-epoch accounting into the tracer's registry and
+        snapshot it onto the result (observability runs only)."""
+        registry = TRACER.metrics
+        for record in result.epoch_records:
+            registry.histogram("epoch/stw_cycles").observe(record.stw_cycles())
+            registry.histogram("epoch/concurrent_cycles").observe(
+                record.concurrent_cycles()
+            )
+            registry.histogram("epoch/fault_cycles").observe(record.fault_cycles)
+            registry.histogram("epoch/pages_swept").observe(record.pages_swept)
+            registry.histogram("epoch/caps_revoked").observe(record.caps_revoked)
+            registry.counter("epochs/faults").inc(record.fault_count)
+        for pause in result.stw_pauses:
+            registry.histogram("stw/pause_cycles").observe(pause)
+        for core in self.machine.cores:
+            registry.counter(f"cache/{core.name}/hits").inc(core.cache.hits)
+            registry.counter(f"cache/{core.name}/misses").inc(core.cache.misses)
+        registry.counter("bus/transactions").inc(
+            self.machine.bus.total_transactions()
+        )
+        result.metrics = registry.to_dict()

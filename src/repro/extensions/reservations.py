@@ -62,7 +62,6 @@ class ReservationQuarantine:
 
     def munmap_and_quarantine(self, reservation: Reservation) -> None:
         """Convenience: unmap the whole reservation, then quarantine it."""
-        addr = reservation.base
         remaining = [
             vpn
             for vpn in range(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.machine.scheduler import Event
+from repro.obs.tracer import TRACER
 
 
 def release_epoch_for(observed: int) -> int:
@@ -45,12 +46,16 @@ class EpochClock:
         if self.revoking:
             raise SimulationError("revocation already in flight")
         self.counter += 1
+        if TRACER.enabled:
+            TRACER.emit("epoch.tick", counter=self.counter, revoking=True)
 
     def end_revocation(self) -> None:
         if not self.revoking:
             raise SimulationError("no revocation in flight")
         self.counter += 1
         self.completed += 1
+        if TRACER.enabled:
+            TRACER.emit("epoch.tick", counter=self.counter, revoking=False)
 
     def read(self) -> int:
         """What a user-space allocator sees when it loads the counter."""

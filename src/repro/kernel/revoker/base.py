@@ -28,6 +28,7 @@ from typing import Generator, Iterable
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.fastpath import scalar_mode
 from repro.kernel.epoch import EpochClock
 from repro.kernel.hoards import KernelHoards, RegisterFile, ScanOutcome
@@ -38,6 +39,7 @@ from repro.machine.cpu import Core
 from repro.machine.machine import Machine
 from repro.machine.pagetable import PTE
 from repro.machine.scheduler import CoreSlot
+from repro.obs.tracer import TRACER
 
 #: Concurrent sweeps accumulate about this many cycles of page visits per
 #: scheduler yield. Coarser batching means fewer simulation steps; the
@@ -55,6 +57,16 @@ class PhaseSample:
     kind: str  # "stw" | "concurrent"
     begin: int
     end: int
+
+    def __post_init__(self) -> None:
+        # Phase accounting assumes monotonically increasing begin/end; a
+        # negative duration would silently corrupt every downstream STW
+        # and concurrent-cycle statistic, so fail loudly instead.
+        if self.end < self.begin:
+            raise SimulationError(
+                f"phase {self.name!r} of epoch {self.epoch} ends at "
+                f"{self.end} before it began at {self.begin}"
+            )
 
     @property
     def duration(self) -> int:
@@ -121,6 +133,10 @@ class Revoker(abc.ABC):
         record = EpochRecord(epoch=self.epoch.counter)
         self.records.append(record)
         self._current_record = record
+        if TRACER.enabled:
+            TRACER.emit(
+                "epoch.open", ts=slot.time, epoch=record.epoch, revoker=self.name
+            )
         # Reset per-epoch sweep bookkeeping (kernel-side software state).
         for pte in self.machine.pagetable.mapped_pages():
             pte.swept_this_epoch = False
@@ -128,14 +144,33 @@ class Revoker(abc.ABC):
         return record
 
     def _close_epoch(self, slot: CoreSlot) -> None:
+        record = self._current_record
         self.epoch.end_revocation()
         self.machine.scheduler.signal(self.epoch.changed, at_time=slot.time)
         self._current_record = None
+        if TRACER.enabled and record is not None:
+            TRACER.emit(
+                "epoch.close",
+                ts=slot.time,
+                epoch=record.epoch,
+                pages_swept=record.pages_swept,
+                caps_revoked=record.caps_revoked,
+            )
 
     def _phase(self, record: EpochRecord, name: str, kind: str, begin: int, end: int) -> None:
         record.phases.append(
             PhaseSample(epoch=record.epoch, name=name, kind=kind, begin=begin, end=end)
         )
+        if TRACER.enabled:
+            TRACER.emit(
+                "revoker.phase",
+                ts=end,
+                epoch=record.epoch,
+                phase=name,
+                kind=kind,
+                begin=begin,
+                end=end,
+            )
 
     # --- The sweep ----------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.kernel.revoker.base import SWEEP_YIELD_CYCLES as _SWEEP_YIELD_CYCLES
 from repro.kernel.revoker.base import Revoker
 from repro.machine.cpu import Core
 from repro.machine.scheduler import CoreSlot, ResumeWorld, StopWorld
+from repro.obs.tracer import TRACER
 
 
 class ReloadedRevoker(Revoker):
@@ -53,7 +54,10 @@ class ReloadedRevoker(Revoker):
             # Another core (or the background pass) already processed this
             # page; only the local TLB is stale (§4.3 first pmap check).
             self.spurious_faults += 1
-            return cycles + core.resolve_spurious_lg_fault(vpn)
+            cycles += core.resolve_spurious_lg_fault(vpn)
+            if TRACER.enabled:
+                TRACER.emit("revoker.fault", vpn=vpn, spurious=True, cycles=cycles)
+            return cycles
         record = self._current_record
         if record is None:
             # A stale page outside an epoch would be an invariant violation.
@@ -67,6 +71,14 @@ class ReloadedRevoker(Revoker):
         record.fault_cycles += cycles
         record.fault_count += 1
         self.foreground_faults += 1
+        if TRACER.enabled:
+            TRACER.emit(
+                "revoker.fault",
+                vpn=vpn,
+                spurious=False,
+                cycles=cycles,
+                epoch=record.epoch,
+            )
         return cycles
 
     # --- The epoch ------------------------------------------------------------------

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import VMError
 from repro.machine.capability import Capability
 from repro.machine.costs import GRANULE_BYTES
+from repro.obs.tracer import TRACER
 
 
 class RevocationBitmap:
@@ -68,6 +69,8 @@ class RevocationBitmap:
         newly = int((~span).sum())
         span[:] = True
         self.painted_granules += newly
+        if TRACER.enabled:
+            TRACER.emit("shadow.paint", granules=g1 - g0)
         return g1 - g0
 
     def unpaint(self, addr: int, nbytes: int) -> int:
@@ -79,6 +82,8 @@ class RevocationBitmap:
         cleared = int(span.sum())
         span[:] = False
         self.painted_granules -= cleared
+        if TRACER.enabled:
+            TRACER.emit("shadow.unpaint", granules=g1 - g0)
         return g1 - g0
 
     def unpaint_many(self, regions) -> int:

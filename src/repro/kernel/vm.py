@@ -25,6 +25,7 @@ from repro.errors import VMError
 from repro.machine.capability import Capability, representable_length
 from repro.machine.costs import PAGE_BYTES
 from repro.machine.machine import Machine
+from repro.obs.tracer import TRACER
 
 
 class ReservationState(enum.Enum):
@@ -111,6 +112,8 @@ class AddressSpace:
         self.peak_mapped_pages = max(self.peak_mapped_pages, self.mapped_pages)
         reservation = Reservation(start, pages, nbytes)
         self.reservations.append(reservation)
+        if TRACER.enabled:
+            TRACER.emit("vm.mmap", vpn=start, pages=pages, bytes=nbytes)
         cap = Capability.root(start * PAGE_BYTES, pages * PAGE_BYTES)
         return cap, reservation
 
@@ -136,6 +139,8 @@ class AddressSpace:
             reservation.guarded_vpns.add(vpn)
             self.machine.tlb_shootdown(vpn)
         self.mapped_pages -= last - first
+        if TRACER.enabled:
+            TRACER.emit("vm.munmap", vpn=first, pages=last - first)
         if len(reservation.guarded_vpns) == reservation.num_pages:
             reservation.state = ReservationState.QUARANTINED
 

@@ -21,6 +21,7 @@ from itertools import islice, repeat
 from repro.errors import SimulationError
 from repro.fastpath import scalar_mode
 from repro.machine.costs import LINE_BYTES, LINES_PER_PAGE
+from repro.obs.tracer import TRACER
 
 #: Spans at or below this many lines go straight to the scalar loop:
 #: the batched path's setup costs more than it saves on tiny accesses
@@ -68,11 +69,15 @@ class Bus:
 
     def sweep_begin(self) -> None:
         self._sweepers += 1
+        if TRACER.enabled:
+            TRACER.emit("sweep.begin", transactions=self.total_transactions())
 
     def sweep_end(self) -> None:
         if self._sweepers <= 0:
             raise SimulationError("sweep_end without a matching sweep_begin")
         self._sweepers -= 1
+        if TRACER.enabled:
+            TRACER.emit("sweep.end", transactions=self.total_transactions())
 
     @property
     def sweep_active(self) -> bool:
@@ -180,6 +185,13 @@ class Cache:
                     dirty_victims += 1
             if dirty_victims:
                 self.bus.write(self.source, dirty_victims)
+            if TRACER.enabled:
+                TRACER.emit(
+                    "cache.evict",
+                    source=self.source,
+                    lines=len(victims),
+                    dirty=dirty_victims,
+                )
         # Reinsert the whole span at the MRU end in ascending order, as
         # the ascending scalar loop leaves it.
         if write:
@@ -221,6 +233,8 @@ class Cache:
         base_line = vpn * LINES_PER_PAGE
         for line in range(base_line, base_line + LINES_PER_PAGE):
             self._lines.pop(line, None)
+        if TRACER.enabled:
+            TRACER.emit("cache.invalidate_page", source=self.source, vpn=vpn)
 
     @property
     def resident_lines(self) -> int:

@@ -27,6 +27,7 @@ from repro.machine.costs import GRANULE_BYTES, PAGE_BYTES, CostModel
 from repro.machine.memory import TaggedMemory
 from repro.machine.pagetable import PageTable, TLB, TLBEntry
 from repro.machine.trap import CapStoreFault, LoadGenerationFault, PageFault
+from repro.obs.tracer import TRACER
 
 # Precomputed integer permission masks: IntFlag operator dispatch is too
 # slow for per-access use (check_dereference accepts raw masks).
@@ -191,4 +192,6 @@ class Core:
         the cycles charged. No PTE is touched and no shootdown is issued —
         that is the architectural feature Reloaded is built on."""
         self.clg ^= 1
+        if TRACER.enabled:
+            TRACER.emit("core.clg_flip", core=self.name, clg=self.clg)
         return self.costs.clg_flip

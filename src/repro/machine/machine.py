@@ -15,6 +15,7 @@ from repro.machine.cpu import Core
 from repro.machine.memory import TaggedMemory
 from repro.machine.pagetable import PageTable
 from repro.machine.scheduler import DEFAULT_QUANTUM, Scheduler
+from repro.obs.tracer import TRACER
 
 
 class Machine:
@@ -60,4 +61,6 @@ class Machine:
                 core.tlb.invalidate_all()
             else:
                 core.tlb.invalidate(vpn)
+        if TRACER.enabled:
+            TRACER.emit("tlb.shootdown", vpn=vpn, cores=len(self.cores))
         return self.costs.tlb_shootdown * (len(self.cores) - 1)

@@ -34,6 +34,7 @@ from typing import Callable, Generator, Iterable
 
 from repro.errors import SimulationError
 from repro.machine.cpu import Core
+from repro.obs.tracer import TRACER
 
 #: Default preemption quantum, cycles (1 ms at 2.5 GHz).
 DEFAULT_QUANTUM = 2_500_000
@@ -110,6 +111,14 @@ class StwRecord:
 
     begin: int
     end: int
+
+    def __post_init__(self) -> None:
+        # Phase accounting assumes monotone clocks; a pause that "ends
+        # before it began" would silently poison every pause statistic.
+        if self.end < self.begin:
+            raise SimulationError(
+                f"stop-the-world ends at {self.end} before it began at {self.begin}"
+            )
 
     @property
     def duration(self) -> int:
@@ -245,6 +254,11 @@ class Scheduler:
                 thread.state = ThreadState.STOPPED
         requester.core.time = max(requester.core.time, rendezvous)
         self._stw_begin = requester.core.time
+        if TRACER.enabled:
+            stopped = sum(
+                1 for t in self.threads if t.state is ThreadState.STOPPED
+            )
+            TRACER.emit("stw.begin", ts=self._stw_begin, stopped=stopped)
 
     def _resume_world(self, requester: Thread) -> None:
         if not self.stw_active or self._stw_requester is not requester:
@@ -274,6 +288,8 @@ class Scheduler:
         self._stw_requester = None
         record = StwRecord(begin=self._stw_begin, end=end)
         self.stw_records.append(record)
+        if TRACER.enabled:
+            TRACER.emit("stw.end", ts=end, duration=record.duration)
         if self.on_stw is not None:
             self.on_stw(record)
 

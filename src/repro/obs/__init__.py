@@ -1,0 +1,54 @@
+"""Structured observability: event tracing and metrics.
+
+The paper's evaluation leans on fine-grained instrumentation — ``pmcstat``
+bus counters, per-epoch phase timings, STW/fault breakdowns (figs. 4-6, 9)
+— so the simulator carries the equivalent lens: a ring-buffered structured
+event :class:`~repro.obs.tracer.Tracer` fed by hooks in the machine,
+kernel, and allocator layers, plus a :class:`~repro.obs.metrics.MetricsRegistry`
+of counters and histograms folded into each run's
+:class:`~repro.core.metrics.RunResult`.
+
+Tracing is off by default and costs one attribute check per hook site
+when disabled (see :data:`~repro.obs.tracer.TRACER`); nothing is
+allocated until :meth:`~repro.obs.tracer.Tracer.start`. Recorded traces
+export to JSONL (:mod:`repro.obs.export`) and Chrome ``trace_event``
+JSON, validate against the event schema (:mod:`repro.obs.schema`), and
+summarize/diff through ``python -m repro trace`` (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    TraceFormatError,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.schema import EVENT_SCHEMA, TraceSchemaError, validate_event, validate_events
+from repro.obs.summary import TraceSummary, diff_summaries
+from repro.obs.tracer import TRACER, TraceEvent, Tracer, tracing
+
+__all__ = [
+    "TRACER",
+    "TRACE_FORMAT_VERSION",
+    "Counter",
+    "EVENT_SCHEMA",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceSchemaError",
+    "Tracer",
+    "TraceSummary",
+    "diff_summaries",
+    "read_jsonl",
+    "to_chrome_trace",
+    "tracing",
+    "validate_event",
+    "validate_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

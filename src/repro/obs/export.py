@@ -1,0 +1,164 @@
+"""Trace exporters and loaders.
+
+Two on-disk formats:
+
+- **JSONL** — the canonical interchange format: a ``meta`` header line
+  followed by one ``event`` line per record. Loads back into the exact
+  :class:`~repro.obs.tracer.TraceEvent` list that was written
+  (round-trip equality is pinned by tests), which is what
+  ``python -m repro trace summarize/diff`` consume;
+- **Chrome trace_event JSON** — load the file at ``chrome://tracing`` /
+  Perfetto to see epochs, phases, and pauses on a timeline. Phase-shaped
+  events (``revoker.phase``, with ``begin``/``end``) become complete
+  ("X") slices; everything else becomes instants ("i"). Timestamps are
+  simulated cycles presented as microseconds (the viewer's unit).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ReproError
+from repro.obs.tracer import TraceEvent
+
+#: Version stamped in every JSONL trace header.
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be decoded."""
+
+
+# --- JSONL ------------------------------------------------------------------
+
+
+def write_jsonl(
+    path: Path | str,
+    events: Iterable[TraceEvent],
+    meta: Mapping[str, Any] | None = None,
+) -> int:
+    """Write a trace as JSONL; returns the number of events written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        header: dict[str, Any] = {
+            "type": "meta",
+            "version": TRACE_FORMAT_VERSION,
+        }
+        if meta:
+            header.update(meta)
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in events:
+            handle.write(
+                json.dumps(
+                    {"type": "event", "name": event.name, "ts": event.ts,
+                     "args": event.args},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            n += 1
+    return n
+
+
+def read_jsonl(path: Path | str) -> tuple[dict[str, Any], list[TraceEvent]]:
+    """Load a JSONL trace; returns ``(meta, events)``."""
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    if not lines:
+        raise TraceFormatError(f"trace {path} is empty")
+    meta = _decode_line(lines[0], path, 1)
+    if meta.get("type") != "meta":
+        raise TraceFormatError(f"trace {path}: first line is not a meta header")
+    version = meta.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"trace {path}: format {version!r} != supported {TRACE_FORMAT_VERSION}"
+        )
+    events: list[TraceEvent] = []
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        record = _decode_line(line, path, i)
+        if record.get("type") != "event":
+            raise TraceFormatError(
+                f"trace {path}:{i}: unexpected record type {record.get('type')!r}"
+            )
+        try:
+            events.append(
+                TraceEvent(record["name"], record["ts"], dict(record.get("args", {})))
+            )
+        except KeyError as exc:
+            raise TraceFormatError(
+                f"trace {path}:{i}: event missing field {exc}"
+            ) from exc
+    return meta, events
+
+
+def _decode_line(line: str, path: Path | str, lineno: int) -> dict[str, Any]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"trace {path}:{lineno}: bad JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise TraceFormatError(f"trace {path}:{lineno}: record is not an object")
+    return record
+
+
+# --- Chrome trace_event -----------------------------------------------------
+
+#: Events rendered as complete slices: name -> (begin field, end field).
+_SLICE_EVENTS = {"revoker.phase": ("begin", "end")}
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from a trace."""
+    records: list[dict[str, Any]] = []
+    for event in events:
+        span = _SLICE_EVENTS.get(event.name)
+        if span is not None and span[0] in event.args and span[1] in event.args:
+            begin = int(event.args[span[0]])
+            end = int(event.args[span[1]])
+            records.append({
+                "name": str(event.args.get("phase", event.name)),
+                "cat": event.name,
+                "ph": "X",
+                "ts": begin,
+                "dur": max(0, end - begin),
+                "pid": 0,
+                "tid": str(event.args.get("kind", "trace")),
+                "args": event.args,
+            })
+        else:
+            records.append({
+                "name": event.name,
+                "cat": event.name.partition(".")[0],
+                "ph": "i",
+                "s": "g",
+                "ts": event.ts,
+                "pid": 0,
+                "tid": event.name.partition(".")[0],
+                "args": event.args,
+            })
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta) if meta else {},
+    }
+
+
+def write_chrome_trace(
+    path: Path | str,
+    events: Iterable[TraceEvent],
+    meta: Mapping[str, Any] | None = None,
+) -> int:
+    """Write a Chrome trace; returns the number of records written."""
+    document = to_chrome_trace(events, meta)
+    Path(path).write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    return len(document["traceEvents"])

@@ -1,0 +1,106 @@
+"""Counters and histograms behind the tracer.
+
+A :class:`MetricsRegistry` is a flat namespace of named :class:`Counter`
+and :class:`Histogram` instruments. Histograms use power-of-two buckets
+(cycle counts span nine orders of magnitude between a TLB refill and a
+CHERIvoke pause, so exponential buckets are the natural resolution) and
+therefore stay O(64) memory regardless of observation count.
+
+``to_dict`` produces plain JSON-able data — string keys, ints and floats
+only — because registries are folded into :class:`~repro.core.metrics.RunResult`
+and must survive the campaign cache's JSON round-trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution of non-negative values.
+
+    Bucket ``k`` counts observations with ``2**(k-1) <= int(v) < 2**k``
+    — i.e. ``k = int(v).bit_length()``, with bucket 0 holding values
+    below 1; exact min/max/sum ride alongside so means and
+    extremes stay precise even though the distribution is bucketed.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram observation must be >= 0, got {value}")
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        k = int(value).bit_length() if value >= 1 else 0
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            # JSON object keys are strings; keep them so round-trips are exact.
+            "buckets": {str(k): n for k, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """A namespace of counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-able snapshot (sorted, string-keyed throughout)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }

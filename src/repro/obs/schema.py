@@ -1,0 +1,79 @@
+"""The trace event schema: the catalogue every recorded trace must obey.
+
+Each entry maps an event name to the argument fields the emitting hook
+guarantees. Validation is what CI asserts against campaign trace
+artifacts: every event's name must be catalogued, its timestamp a
+non-negative integer, and its required fields present (extra fields are
+allowed — hooks may grow detail without a schema bump).
+
+docs/OBSERVABILITY.md documents each event's meaning and emitting site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+
+class TraceSchemaError(ReproError):
+    """A trace event does not conform to the event schema."""
+
+
+#: Event name -> required argument fields.
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    # Epoch protocol (kernel/epoch.py, kernel/revoker/base.py).
+    "epoch.tick": frozenset({"counter", "revoking"}),
+    "epoch.open": frozenset({"epoch"}),
+    "epoch.close": frozenset({"epoch"}),
+    # Revoker phases and foreground faults (kernel/revoker/*).
+    "revoker.phase": frozenset({"epoch", "phase", "kind", "begin", "end"}),
+    "revoker.fault": frozenset({"vpn", "spurious", "cycles"}),
+    # Scheduler stop-the-world episodes (machine/scheduler.py).
+    "stw.begin": frozenset({"stopped"}),
+    "stw.end": frozenset({"duration"}),
+    # Bus sweep streaming windows (machine/cache.py).
+    "sweep.begin": frozenset({"transactions"}),
+    "sweep.end": frozenset({"transactions"}),
+    # Per-core MMU events (machine/cpu.py, machine/machine.py).
+    "core.clg_flip": frozenset({"core", "clg"}),
+    "tlb.shootdown": frozenset({"vpn", "cores"}),
+    # Cache evictions (machine/cache.py; batched span path).
+    "cache.evict": frozenset({"source", "lines"}),
+    "cache.invalidate_page": frozenset({"source", "vpn"}),
+    # Address-space events (kernel/vm.py).
+    "vm.mmap": frozenset({"vpn", "pages", "bytes"}),
+    "vm.munmap": frozenset({"vpn", "pages"}),
+    # Shadow bitmap traffic (kernel/shadow.py).
+    "shadow.paint": frozenset({"granules"}),
+    "shadow.unpaint": frozenset({"granules"}),
+    # Quarantine lifecycle (alloc/quarantine.py).
+    "quarantine.fill": frozenset({"bytes", "total"}),
+    "quarantine.seal": frozenset({"bytes", "epoch"}),
+    "quarantine.drain": frozenset({"batches", "bytes", "epoch"}),
+}
+
+
+def validate_event(name: str, ts: int, args: Mapping[str, object]) -> None:
+    """Raise :class:`TraceSchemaError` unless the event conforms."""
+    required = EVENT_SCHEMA.get(name)
+    if required is None:
+        known = ", ".join(sorted(EVENT_SCHEMA))
+        raise TraceSchemaError(f"unknown event {name!r}; catalogued: {known}")
+    if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+        raise TraceSchemaError(f"event {name!r}: bad timestamp {ts!r}")
+    missing = required - args.keys()
+    if missing:
+        raise TraceSchemaError(
+            f"event {name!r} missing fields {sorted(missing)}"
+        )
+
+
+def validate_events(events: Iterable) -> int:
+    """Validate a whole trace (any iterable of
+    :class:`~repro.obs.tracer.TraceEvent`); returns the event count."""
+    n = 0
+    for event in events:
+        validate_event(event.name, event.ts, event.args)
+        n += 1
+    return n

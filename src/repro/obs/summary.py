@@ -1,0 +1,159 @@
+"""Trace summarization: per-epoch accounting and trace-vs-trace diffs.
+
+This is the analysis the paper's figure 9 performs on its raw phase
+timings: group a trace's events by revocation epoch and report where the
+cycles went — STW pause, concurrent sweep, foreground fault handling —
+plus the bus traffic each sweep streamed. ``diff_summaries`` compares two
+recordings of the same workload under different strategies (the
+cornucopia-vs-reloaded STW breakdown is the motivating use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.tracer import TraceEvent
+
+
+@dataclass
+class EpochSummary:
+    """Everything one epoch's events add up to."""
+
+    epoch: int
+    stw_cycles: int = 0
+    concurrent_cycles: int = 0
+    fault_count: int = 0
+    spurious_faults: int = 0
+    fault_cycles: int = 0
+    sweep_bus_transactions: int = 0
+    phases: list[str] = field(default_factory=list)
+
+
+@dataclass
+class TraceSummary:
+    """A whole trace, reduced to per-epoch rows plus trace-wide totals."""
+
+    epochs: list[EpochSummary] = field(default_factory=list)
+    events: int = 0
+    stw_pauses: list[int] = field(default_factory=list)
+    quarantine_filled_bytes: int = 0
+    quarantine_drained_bytes: int = 0
+    tlb_shootdowns: int = 0
+    cache_evicted_lines: int = 0
+
+    # --- Totals ------------------------------------------------------------
+
+    @property
+    def total_stw_cycles(self) -> int:
+        return sum(e.stw_cycles for e in self.epochs)
+
+    @property
+    def total_concurrent_cycles(self) -> int:
+        return sum(e.concurrent_cycles for e in self.epochs)
+
+    @property
+    def total_fault_cycles(self) -> int:
+        return sum(e.fault_cycles for e in self.epochs)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(e.fault_count for e in self.epochs)
+
+    @property
+    def total_sweep_bus(self) -> int:
+        return sum(e.sweep_bus_transactions for e in self.epochs)
+
+    @property
+    def max_stw_pause(self) -> int:
+        return max(self.stw_pauses) if self.stw_pauses else 0
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "TraceSummary":
+        """Reduce a trace to its summary.
+
+        Tolerant of ring-buffer truncation: events arriving before the
+        first surviving ``epoch.open`` are attributed to a synthetic
+        epoch 0 row (created on demand) rather than dropped.
+        """
+        summary = cls()
+        by_epoch: dict[int, EpochSummary] = {}
+        current: EpochSummary | None = None
+        sweep_open_at: int | None = None
+
+        def epoch_row(number: int) -> EpochSummary:
+            row = by_epoch.get(number)
+            if row is None:
+                row = by_epoch[number] = EpochSummary(epoch=number)
+                summary.epochs.append(row)
+            return row
+
+        for event in events:
+            summary.events += 1
+            name = event.name
+            args = event.args
+            if name == "epoch.open":
+                current = epoch_row(int(args["epoch"]))
+            elif name == "epoch.close":
+                current = None
+            elif name == "revoker.phase":
+                row = epoch_row(int(args["epoch"]))
+                cycles = int(args["end"]) - int(args["begin"])
+                row.phases.append(str(args["phase"]))
+                if args.get("kind") == "stw":
+                    row.stw_cycles += cycles
+                else:
+                    row.concurrent_cycles += cycles
+            elif name == "revoker.fault":
+                row = current if current is not None else epoch_row(0)
+                row.fault_count += 1
+                row.fault_cycles += int(args["cycles"])
+                if args.get("spurious"):
+                    row.spurious_faults += 1
+            elif name == "sweep.begin":
+                sweep_open_at = int(args["transactions"])
+            elif name == "sweep.end":
+                if sweep_open_at is not None:
+                    delta = int(args["transactions"]) - sweep_open_at
+                    row = current if current is not None else epoch_row(0)
+                    row.sweep_bus_transactions += max(0, delta)
+                    sweep_open_at = None
+            elif name == "stw.end":
+                summary.stw_pauses.append(int(args["duration"]))
+            elif name == "quarantine.fill":
+                summary.quarantine_filled_bytes += int(args["bytes"])
+            elif name == "quarantine.drain":
+                summary.quarantine_drained_bytes += int(args["bytes"])
+            elif name == "tlb.shootdown":
+                summary.tlb_shootdowns += 1
+            elif name == "cache.evict":
+                summary.cache_evicted_lines += int(args["lines"])
+        summary.epochs.sort(key=lambda e: e.epoch)
+        return summary
+
+
+def _delta(a: float, b: float) -> str:
+    """Human delta of ``b`` relative to ``a``."""
+    if a == 0:
+        return "n/a" if b == 0 else "+inf"
+    return f"{(b - a) / a * 100:+.1f}%"
+
+
+def diff_summaries(a: TraceSummary, b: TraceSummary) -> list[list[str]]:
+    """Rows of ``metric, a, b, delta`` comparing two trace summaries."""
+    metrics: list[tuple[str, float, float]] = [
+        ("epochs", len(a.epochs), len(b.epochs)),
+        ("stw cycles", a.total_stw_cycles, b.total_stw_cycles),
+        ("max stw pause", a.max_stw_pause, b.max_stw_pause),
+        ("concurrent cycles", a.total_concurrent_cycles, b.total_concurrent_cycles),
+        ("fault count", a.total_faults, b.total_faults),
+        ("fault cycles", a.total_fault_cycles, b.total_fault_cycles),
+        ("sweep bus transactions", a.total_sweep_bus, b.total_sweep_bus),
+        ("tlb shootdowns", a.tlb_shootdowns, b.tlb_shootdowns),
+        ("quarantine filled bytes", a.quarantine_filled_bytes, b.quarantine_filled_bytes),
+        ("quarantine drained bytes", a.quarantine_drained_bytes, b.quarantine_drained_bytes),
+    ]
+    return [
+        [name, str(int(va)), str(int(vb)), _delta(va, vb)]
+        for name, va, vb in metrics
+    ]

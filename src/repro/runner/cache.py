@@ -82,6 +82,10 @@ def job_fingerprint(job: Job, code_version: str | None = None) -> str:
         "code": code_version if code_version is not None else code_fingerprint(),
         "job": job.to_dict(),
     }
+    if os.environ.get("REPRO_TRACE_DIR"):
+        # Traced runs carry the observability metrics fold in their
+        # RunResult; keep them from colliding with untraced results.
+        material["trace"] = True
     return hashlib.sha256(canonical_json(material).encode()).hexdigest()
 
 

@@ -24,7 +24,10 @@ Extensions register more with :func:`register_workload`.
 from __future__ import annotations
 
 import hashlib
+import os
+import re
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.config import RevokerKind, SimulationConfig
@@ -156,11 +159,53 @@ def build_config(job: Job) -> SimulationConfig:
     return cfg
 
 
+def trace_artifact_dir() -> Path | None:
+    """Where per-job trace JSONL artifacts go (``$REPRO_TRACE_DIR``), or
+    None when tracing is off. Inherited by pool worker processes, so the
+    whole campaign traces uniformly."""
+    raw = os.environ.get("REPRO_TRACE_DIR")
+    return Path(raw) if raw else None
+
+
+def job_trace_slug(job: Job) -> str:
+    """A filesystem-safe, collision-free artifact name for one job."""
+    human = re.sub(r"[^A-Za-z0-9._-]+", "-", job.describe()).strip("-")
+    digest = hashlib.sha256(canonical_json(job.to_dict()).encode()).hexdigest()[:10]
+    return f"{human}-{digest}"
+
+
 def execute_job(job: Job) -> RunResult:
     """Run one job to completion in this process (the pure function pool
-    workers and the in-process fallback both call)."""
-    workload = job.workload.build()
-    return run_experiment(workload, job.revoker, build_config(job))
+    workers and the in-process fallback both call).
+
+    With ``REPRO_TRACE_DIR`` set, the run records a structured trace and
+    writes it as ``<dir>/<slug>.jsonl`` (cache hits skip execution and so
+    produce no artifact — trace campaigns with ``--no-cache``)."""
+    trace_dir = trace_artifact_dir()
+    if trace_dir is None:
+        workload = job.workload.build()
+        return run_experiment(workload, job.revoker, build_config(job))
+
+    from repro.obs.export import write_jsonl
+    from repro.obs.tracer import TRACER
+
+    TRACER.start()
+    try:
+        workload = job.workload.build()
+        result = run_experiment(workload, job.revoker, build_config(job))
+        events = TRACER.events()
+        meta = {
+            "job": job.describe(),
+            "workload": workload.name,
+            "revoker": job.revoker.value,
+            "wall_cycles": result.wall_cycles,
+            "dropped": TRACER.dropped,
+        }
+    finally:
+        TRACER.stop()
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    write_jsonl(trace_dir / f"{job_trace_slug(job)}.jsonl", events, meta)
+    return result
 
 
 def stable_seed(*parts: Any, bits: int = 48) -> int:

@@ -30,7 +30,8 @@ from repro.errors import ReproError
 from repro.kernel.revoker.base import EpochRecord, PhaseSample
 
 #: Schema version of the serialized result envelope.
-FORMAT_VERSION = 1
+#: v2: RunResult grew the ``metrics`` observability fold.
+FORMAT_VERSION = 2
 
 
 class SerializationError(ReproError):

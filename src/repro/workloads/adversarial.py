@@ -22,7 +22,6 @@ check it per strategy:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
@@ -75,7 +74,6 @@ class UafAttacker(Workload):
         self.quarantine_policy = QuarantinePolicy(min_bytes=16 << 10)
 
     def run(self, ctx: "AppContext") -> Generator:
-        rng = random.Random(self.seed)
         size = 256
         report = self.report
         pending: list[_Victim] = []

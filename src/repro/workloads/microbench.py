@@ -110,7 +110,6 @@ class FragmentationStress(Workload):
         self.quarantine_policy = QuarantinePolicy(min_bytes=16 << 10)
 
     def run(self, ctx: "AppContext") -> Generator:
-        rng = random.Random(self.seed)
         survivors: list[Capability] = []
         for i in range(self.iterations):
             # Allocate a pair of different classes; free one immediately,

@@ -31,13 +31,16 @@ from repro.workloads import spec
 
 _cycles = st.integers(min_value=0, max_value=2**48)
 
+# PhaseSample rejects end < begin, so build from begin + duration.
 _phases = st.builds(
-    PhaseSample,
+    lambda epoch, name, kind, begin, duration: PhaseSample(
+        epoch=epoch, name=name, kind=kind, begin=begin, end=begin + duration
+    ),
     epoch=st.integers(1, 100),
     name=st.sampled_from(["scan-roots", "sweep", "clg-flip", "re-sweep"]),
     kind=st.sampled_from(["stw", "concurrent"]),
     begin=_cycles,
-    end=_cycles,
+    duration=_cycles,
 )
 
 _epochs = st.builds(
