@@ -16,6 +16,7 @@ of allocated), but never for less than 8 MiB of quarantine.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.alloc.snmalloc import FreedRegion
 from repro.kernel.epoch import release_epoch_for
@@ -76,6 +77,12 @@ class Quarantine:
         #: Sum of quarantine size sampled at each revocation (for mean
         #: quarantine reporting, §5.2).
         self.sampled_bytes: list[int] = []
+        #: Oracle probe points (:mod:`repro.check`): ``on_seal(batch)``
+        #: after a pending buffer is sealed; ``on_release(batch, counter)``
+        #: for each batch popped by :meth:`releasable`, *before* the caller
+        #: unpaints or reuses its regions. Both default to ``None``.
+        self.on_seal: Callable[[SealedBatch], None] | None = None
+        self.on_release: Callable[[SealedBatch, int], None] | None = None
 
     @property
     def sealed_bytes(self) -> int:
@@ -101,6 +108,8 @@ class Quarantine:
         self.pending = []
         self.pending_bytes = 0
         self.sealed.append(batch)
+        if self.on_seal is not None:
+            self.on_seal(batch)
         if TRACER.enabled:
             TRACER.emit(
                 "quarantine.seal", bytes=batch.bytes, epoch=observed_epoch
@@ -111,6 +120,9 @@ class Quarantine:
         """Pop and return every sealed batch whose release epoch has come."""
         ready = [b for b in self.sealed if epoch_counter >= b.release_at]
         self.sealed = [b for b in self.sealed if epoch_counter < b.release_at]
+        if self.on_release is not None:
+            for batch in ready:
+                self.on_release(batch, epoch_counter)
         if TRACER.enabled and ready:
             TRACER.emit(
                 "quarantine.drain",

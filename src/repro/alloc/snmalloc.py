@@ -90,6 +90,10 @@ class SnMalloc:
         self.total_freed_bytes = 0
         self.malloc_calls = 0
         self.free_calls = 0
+        #: Opt-in address trace (:mod:`repro.check`'s differential oracle
+        #: compares placement across strategies). ``None`` — the default —
+        #: costs one attribute test per malloc.
+        self.trace_addresses: list[int] | None = None
 
     # --- Internals -----------------------------------------------------------
 
@@ -163,6 +167,8 @@ class SnMalloc:
         self._live[addr] = (rounded, sc)
         self.allocated_bytes += rounded
         self.total_allocated_bytes += rounded
+        if self.trace_addresses is not None:
+            self.trace_addresses.append(addr)
         return user, cycles
 
     def free(self, cap: Capability) -> tuple[FreedRegion, int]:

@@ -1,0 +1,66 @@
+"""Schedule exploration and temporal-safety oracles (docs/CHECKING.md).
+
+The paper's correctness story (§2.2.3, §3) is a story about *orderings*:
+the epoch counter's begin/end transitions, the stop-the-world rendezvous,
+and quarantine release must interleave safely under any scheduling of
+mutator and revoker threads. The cooperative :class:`repro.machine
+.scheduler.Scheduler` normally exercises exactly one interleaving — the
+one its round-robin tie-break happens to produce. This package explores
+the others:
+
+- :mod:`repro.check.policy` — pluggable schedule policies (seeded random,
+  PCT-style priority, recorded-trace replay) that resolve the scheduler's
+  choice among (near-)equal-time candidate cores and journal every pick;
+- :mod:`repro.check.oracle` — invariant checkers probing the scheduler,
+  epoch clock, and quarantine after every step;
+- :mod:`repro.check.scenarios` — small named workload/machine rigs sized
+  for thousands of runs;
+- :mod:`repro.check.explorer` — the seeded exploration driver plus the
+  cross-revoker differential check;
+- :mod:`repro.check.replay` — violation artifacts, trace minimization,
+  and deterministic replay.
+
+CLI: ``python -m repro check --seed-range 0:500 --scenario churn-small``
+and ``python -m repro check replay <artifact.json>``.
+"""
+
+from repro.check.explorer import ExplorationReport, Explorer, SeedResult
+from repro.check.oracle import Oracle, OracleSuite, Violation, default_oracles
+from repro.check.policy import (
+    PCTPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    RoundRobinPolicy,
+    SchedulePolicy,
+    make_policy,
+)
+from repro.check.replay import (
+    ViolationArtifact,
+    build_artifact,
+    minimize_trace,
+    replay_artifact,
+)
+from repro.check.scenarios import SCENARIOS, Scenario, scenario
+
+__all__ = [
+    "ExplorationReport",
+    "Explorer",
+    "Oracle",
+    "OracleSuite",
+    "PCTPolicy",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "RoundRobinPolicy",
+    "SCENARIOS",
+    "Scenario",
+    "SchedulePolicy",
+    "SeedResult",
+    "Violation",
+    "ViolationArtifact",
+    "build_artifact",
+    "default_oracles",
+    "make_policy",
+    "minimize_trace",
+    "replay_artifact",
+    "scenario",
+]

@@ -1,0 +1,269 @@
+"""The schedule-exploration driver.
+
+An :class:`Explorer` runs one :class:`~repro.check.scenarios.Scenario`
+many times, each under a differently-seeded schedule policy, with the
+full oracle suite attached; every run yields a :class:`SeedResult`
+carrying the policy's choice journal, so any violation is replayable
+choice for choice (:mod:`repro.check.replay`).
+
+The cross-revoker differential check rides along: under the
+deterministic round-robin policy the same workload seed is run twice per
+revocation strategy (the pair must be bit-identical — any divergence is
+hidden nondeterminism) and the final states are compared across
+strategies. The workload's
+logical trace (iterations, malloc/free counts, live bytes, bytes freed)
+must agree across *all* strategies — the paper's same-binary methodology
+— while the tag-level memory fingerprint is compared among the
+safety-providing trio (cherivoke/cornucopia/reloaded agree granule for
+granule only when their release schedules coincide, so tag identity is
+checked pairwise only where the allocation address traces match;
+paint+sync never sweeps and is excluded from tag comparison by design).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.check.oracle import Oracle, OracleSuite, Violation, default_oracles
+from repro.check.policy import SchedulePolicy, make_policy
+from repro.check.scenarios import Scenario, scenario as lookup_scenario
+from repro.core.config import RevokerKind
+from repro.core.simulation import Simulation
+
+#: Strategies the differential check runs (everything that quarantines).
+DIFFERENTIAL_KINDS = (
+    RevokerKind.PAINT_SYNC,
+    RevokerKind.CHERIVOKE,
+    RevokerKind.CORNUCOPIA,
+    RevokerKind.RELOADED,
+)
+
+#: Fingerprint fields that must agree across *all* strategies.
+_TRACE_FIELDS = (
+    "iterations",
+    "malloc_calls",
+    "free_calls",
+    "allocated_bytes",
+    "lifetime_freed_bytes",
+)
+
+
+@dataclass
+class SeedResult:
+    """One explored schedule: its policy, its choices, its verdict."""
+
+    seed: int
+    policy: dict
+    journal: list[int]
+    steps: int
+    wall: int
+    violations: list[Violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one ``repro check`` exploration produced."""
+
+    scenario: str
+    revoker: str
+    workload_seed: int
+    results: list[SeedResult] = field(default_factory=list)
+    differential: list[Violation] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[SeedResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.results) + len(self.differential)
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.scenario} / revoker {self.revoker}: "
+            f"{len(self.results)} schedules explored, "
+            f"{len(self.failures)} failing, "
+            f"{self.total_violations} violations"
+        ]
+        for result in self.failures:
+            for violation in result.violations:
+                lines.append(f"  seed {result.seed}: {violation}")
+        for violation in self.differential:
+            lines.append(f"  differential: {violation}")
+        return "\n".join(lines)
+
+
+def memory_fingerprint(sim: Simulation) -> dict:
+    """Hashable final-state summary of one finished simulation."""
+    memory = sim.machine.memory
+    tagged = np.flatnonzero(memory.tags)
+    bases = memory.cap_bases[tagged]
+    workload = sim.workload
+    return {
+        "iterations": getattr(workload, "iterations_run", None),
+        "malloc_calls": sim.alloc.malloc_calls,
+        "free_calls": sim.alloc.free_calls,
+        "allocated_bytes": sim.alloc.allocated_bytes,
+        "lifetime_freed_bytes": (
+            sim.mrs.quarantine.lifetime_bytes
+            if sim.mrs is not None
+            else sim.alloc.total_freed_bytes
+        ),
+        "tag_count": int(tagged.size),
+        "tag_digest": hashlib.sha256(tagged.tobytes()).hexdigest()[:16],
+        "base_digest": hashlib.sha256(bases.tobytes()).hexdigest()[:16],
+        "alloc_trace_digest": _alloc_trace_digest(sim),
+    }
+
+
+def _alloc_trace_digest(sim: Simulation) -> str:
+    """Digest of the allocation *address* trace (requires the simulation
+    to have run with ``sim.alloc.trace_addresses = []``). Two strategies
+    with the same digest placed every object identically, so their final
+    tag state is directly comparable."""
+    trace = sim.alloc.trace_addresses
+    if trace is None:
+        return "untraced"
+    h = hashlib.sha256()
+    for addr in trace:
+        h.update(addr.to_bytes(8, "little"))
+    return h.hexdigest()[:16]
+
+
+class Explorer:
+    """Seed-sweeping exploration of one scenario under one revoker."""
+
+    def __init__(
+        self,
+        scenario: Scenario | str,
+        revoker: RevokerKind = RevokerKind.RELOADED,
+        policy_kind: str = "random",
+        window: int = 0,
+        workload_seed: int = 0,
+        oracle_factory: Callable[[], list[Oracle]] = default_oracles,
+    ) -> None:
+        self.scenario = (
+            lookup_scenario(scenario) if isinstance(scenario, str) else scenario
+        )
+        self.revoker = revoker
+        self.policy_kind = policy_kind
+        self.window = window
+        self.workload_seed = workload_seed
+        self.oracle_factory = oracle_factory
+
+    def run_seed(
+        self, seed: int, policy: SchedulePolicy | None = None
+    ) -> SeedResult:
+        """One simulation under one schedule, oracles attached."""
+        if policy is None:
+            policy = make_policy(self.policy_kind, seed=seed, window=self.window)
+        sim = self.scenario.build(self.workload_seed, self.revoker)
+        sim.machine.scheduler.policy = policy
+        suite = OracleSuite(self.oracle_factory())
+        suite.bind(sim)
+        sim.run()
+        suite.finish()
+        return SeedResult(
+            seed=seed,
+            policy=policy.describe(),
+            journal=list(policy.journal),
+            steps=suite.steps,
+            wall=sim.machine.scheduler.current_time(),
+            violations=suite.violations,
+        )
+
+    def explore(
+        self,
+        seeds: Iterable[int],
+        differential: bool = True,
+        progress: Callable[[SeedResult], None] | None = None,
+    ) -> ExplorationReport:
+        """Sweep ``seeds``; optionally run the cross-revoker differential."""
+        report = ExplorationReport(
+            scenario=self.scenario.name,
+            revoker=self.revoker.value,
+            workload_seed=self.workload_seed,
+        )
+        for seed in seeds:
+            result = self.run_seed(seed)
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
+        if differential:
+            report.differential = self.run_differential()
+        return report
+
+    def _fingerprint_run(self, kind: RevokerKind) -> dict:
+        sim = self.scenario.build(self.workload_seed, kind)
+        sim.machine.scheduler.policy = make_policy("round-robin")
+        sim.alloc.trace_addresses = []
+        sim.run()
+        return memory_fingerprint(sim)
+
+    def run_differential(
+        self, kinds: Sequence[RevokerKind] = DIFFERENTIAL_KINDS
+    ) -> list[Violation]:
+        """Run the workload seed once per strategy under the deterministic
+        round-robin schedule and compare final states (docstring above for
+        what must agree with what)."""
+        violations: list[Violation] = []
+        prints: dict[RevokerKind, dict] = {}
+        for kind in kinds:
+            first = self._fingerprint_run(kind)
+            second = self._fingerprint_run(kind)
+            for fld, value in first.items():
+                if second[fld] != value:
+                    violations.append(
+                        Violation(
+                            "differential",
+                            f"{kind.value} is nondeterministic: {fld} = "
+                            f"{value} then {second[fld]} on identical runs",
+                            step=0,
+                            wall=0,
+                        )
+                    )
+            prints[kind] = first
+        reference_kind = kinds[0]
+        reference = prints[reference_kind]
+        for kind in kinds[1:]:
+            for fld in _TRACE_FIELDS:
+                if prints[kind][fld] != reference[fld]:
+                    violations.append(
+                        Violation(
+                            "differential",
+                            f"{fld} diverges: {reference_kind.value}="
+                            f"{reference[fld]} vs {kind.value}={prints[kind][fld]}",
+                            step=0,
+                            wall=0,
+                        )
+                    )
+        safety = [k for k in kinds if k.provides_safety]
+        for i, a in enumerate(safety):
+            for b in safety[i + 1:]:
+                pa, pb = prints[a], prints[b]
+                if pa["alloc_trace_digest"] != pb["alloc_trace_digest"]:
+                    continue  # different placement: tag states incomparable
+                for fld in ("tag_count", "tag_digest", "base_digest"):
+                    if pa[fld] != pb[fld]:
+                        violations.append(
+                            Violation(
+                                "differential",
+                                f"same allocation trace but {fld} diverges: "
+                                f"{a.value}={pa[fld]} vs {b.value}={pb[fld]}",
+                                step=0,
+                                wall=0,
+                            )
+                        )
+        return violations

@@ -1,0 +1,396 @@
+"""Temporal-safety oracles: invariants checked while a simulation runs.
+
+Each oracle is a :class:`repro.machine.scheduler.SchedulerProbe` plus
+epoch/quarantine probe hooks; the :class:`OracleSuite` multiplexes one
+probe slot across all of them and wires the epoch clock and quarantine
+callbacks when bound to a simulation. Violations are collected, never
+raised — an exploration run reports every broken invariant of every seed
+rather than dying at the first.
+
+The catalogue (docs/CHECKING.md):
+
+- :class:`ClockStwOracle` — per-core clocks are monotone; stop-the-world
+  records never overlap; a thread held by a pause never runs again before
+  the pause's end (the rendezvous/resume floor invariant).
+- :class:`WakeOrderOracle` — sleepers promoted together enter their core's
+  run queue in ``wake_floor`` order and run in that order.
+- :class:`QuarantineOracle` — no quarantine batch drains before its
+  release epoch, and a full revocation pass (begin *and* end transition)
+  separates every seal from its release (§2.2.3's 2-or-3 increment rule).
+- :class:`RevocationOracle` — when the epoch that revoked a freed
+  allocation has closed, no tagged capability to it remains loadable
+  anywhere: heap memory, register files, or kernel hoards (§3, §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.kernel.epoch import release_epoch_for
+from repro.machine.scheduler import SchedulerProbe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.alloc.quarantine import SealedBatch
+    from repro.core.simulation import Simulation
+    from repro.machine.scheduler import CoreSlot, Thread
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, at one point of one interleaving."""
+
+    oracle: str
+    message: str
+    #: Scheduler step count at detection (aligns with the choice journal).
+    step: int
+    #: Simulation wall clock (max core clock) at detection.
+    wall: int
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return f"[{self.oracle}] step {self.step} @ {self.wall}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "message": self.message,
+            "step": self.step,
+            "wall": self.wall,
+        }
+
+
+class Oracle(SchedulerProbe):
+    """Base oracle: violation collection plus no-op probe hooks."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        self._suite: "OracleSuite | None" = None
+        self.sim: "Simulation | None" = None
+
+    def bind(self, sim: "Simulation", suite: "OracleSuite") -> None:
+        self.sim = sim
+        self._suite = suite
+
+    def report(self, message: str) -> None:
+        suite = self._suite
+        step = suite.steps if suite is not None else 0
+        wall = 0
+        if self.sim is not None:
+            wall = self.sim.machine.scheduler.current_time()
+        self.violations.append(Violation(self.name, message, step, wall))
+
+    # --- Non-scheduler probe points ------------------------------------------
+
+    def on_epoch_transition(self, counter: int) -> None:
+        """The epoch counter just moved to ``counter``."""
+
+    def on_quarantine_seal(self, batch: "SealedBatch") -> None:
+        """A pending quarantine buffer was sealed."""
+
+    def on_quarantine_release(self, batch: "SealedBatch", counter: int) -> None:
+        """``batch`` was popped for release at epoch ``counter`` (its
+        regions are about to be unpainted and returned for reuse)."""
+
+    def on_run_end(self) -> None:
+        """The simulation finished (final-state checks)."""
+
+
+class ClockStwOracle(Oracle):
+    """Clock monotonicity and the stop-the-world hold/floor discipline."""
+
+    name = "clock-stw"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clocks: dict[int, int] = {}
+        self._floors: dict["Thread", int] = {}
+        self._last_stw_end: int | None = None
+        self._stw_begin: int | None = None
+
+    def on_pick(self, slot: "CoreSlot", thread: "Thread", begin: int) -> None:
+        prev = self._clocks.get(slot.index)
+        if prev is not None and slot.time < prev:
+            self.report(
+                f"core {slot.index} clock moved backwards: {prev} -> {slot.time}"
+            )
+        self._clocks[slot.index] = max(slot.time, begin)
+        floor = self._floors.pop(thread, None)
+        if floor is not None and begin < floor:
+            self.report(
+                f"{thread.name} held by a stop-the-world ending at {floor} "
+                f"runs again at {begin}, inside the pause"
+            )
+
+    def on_stw_begin(self, begin: int, held: "list[Thread]") -> None:
+        if self._stw_begin is not None:
+            self.report("stop-the-world began inside another stop-the-world")
+        if self._last_stw_end is not None and begin < self._last_stw_end:
+            self.report(
+                f"stop-the-world at {begin} overlaps the previous pause "
+                f"ending at {self._last_stw_end}"
+            )
+        self._stw_begin = begin
+
+    def on_stw_end(self, end: int, released: "list[Thread]") -> None:
+        begin = self._stw_begin
+        self._stw_begin = None
+        if begin is not None and end < begin:
+            self.report(f"stop-the-world ends at {end} before it began at {begin}")
+        self._last_stw_end = end
+        for thread in released:
+            if thread.stops_for_stw:
+                self._floors[thread] = end
+                if thread.wake_floor < end:
+                    self.report(
+                        f"{thread.name} released from stop-the-world with "
+                        f"wake_floor {thread.wake_floor} < pause end {end}"
+                    )
+
+
+class WakeOrderOracle(Oracle):
+    """Sleepers promoted together must queue and run in wake order."""
+
+    name = "wake-order"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Per-thread handle into its promotion batch's pending list.
+        self._pending: dict["Thread", list["Thread"]] = {}
+
+    def on_promote(self, slot: "CoreSlot", batch: "list[Thread]") -> None:
+        floors = [t.wake_floor for t in batch]
+        if floors != sorted(floors):
+            names = ", ".join(f"{t.name}@{t.wake_floor}" for t in batch)
+            self.report(
+                f"sleepers promoted onto core {slot.index} out of wake "
+                f"order: {names}"
+            )
+        if len(batch) > 1:
+            pending = list(batch)
+            for thread in batch:
+                self._pending[thread] = pending
+
+    def on_pick(self, slot: "CoreSlot", thread: "Thread", begin: int) -> None:
+        pending = self._pending.pop(thread, None)
+        if pending is None:
+            return
+        for other in pending:
+            if other is thread:
+                break
+            if other in self._pending and other.wake_floor < thread.wake_floor:
+                self.report(
+                    f"{thread.name} (wake {thread.wake_floor}) ran before "
+                    f"co-promoted {other.name} (wake {other.wake_floor}) "
+                    f"on core {slot.index}"
+                )
+        pending.remove(thread)
+
+    def on_stw_begin(self, begin: int, held: "list[Thread]") -> None:
+        # A stop-the-world re-floors and re-queues held threads in spawn
+        # order; batch ordering claims do not survive it.
+        for thread in held:
+            pending = self._pending.pop(thread, None)
+            if pending is not None and thread in pending:
+                pending.remove(thread)
+
+
+class QuarantineOracle(Oracle):
+    """The §2.2.3 dequarantine rule, checked against the transition log."""
+
+    name = "quarantine"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._transitions: list[int] = []
+        #: batch id -> transition-log length at seal time.
+        self._sealed_at: dict[int, int] = {}
+
+    def on_epoch_transition(self, counter: int) -> None:
+        if self._transitions and counter != self._transitions[-1] + 1:
+            self.report(
+                f"epoch counter jumped {self._transitions[-1]} -> {counter}"
+            )
+        self._transitions.append(counter)
+
+    def on_quarantine_seal(self, batch: "SealedBatch") -> None:
+        self._sealed_at[id(batch)] = len(self._transitions)
+
+    def on_quarantine_release(self, batch: "SealedBatch", counter: int) -> None:
+        release_at = release_epoch_for(batch.observed_epoch)
+        if batch.release_at != release_at:
+            self.report(
+                f"batch observing epoch {batch.observed_epoch} computes "
+                f"release {batch.release_at}, rule says {release_at}"
+            )
+        if counter < release_at:
+            self.report(
+                f"quarantine batch (observed {batch.observed_epoch}) drained "
+                f"at epoch {counter}, before its release epoch {release_at}"
+            )
+        mark = self._sealed_at.pop(id(batch), None)
+        if mark is None:
+            return
+        since = self._transitions[mark:]
+        # A full pass must separate seal from release: some begin
+        # transition (odd value) and its matching end both after the seal.
+        full_pass = any(
+            value % 2 == 1 and value + 1 in since for value in since
+        )
+        if not full_pass:
+            self.report(
+                f"no full begin->end revocation pass between seal "
+                f"(observed {batch.observed_epoch}) and release at {counter}"
+            )
+
+
+class RevocationOracle(Oracle):
+    """No tagged capability to revoked memory survives its epoch."""
+
+    name = "revocation"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _scan_for_caps_into(self, regions, where: str) -> None:
+        """Report every loadable tagged capability whose base falls in
+        ``regions`` (a list of FreedRegion)."""
+        sim = self.sim
+        if sim is None or not regions:
+            return
+        memory = sim.machine.memory
+        tagged = np.flatnonzero(memory.tags)
+        if tagged.size:
+            bases = memory.cap_bases[tagged]
+            starts = np.array([r.addr for r in regions], dtype=np.int64)
+            ends = np.array([r.addr + r.size for r in regions], dtype=np.int64)
+            order = np.argsort(starts)
+            starts, ends = starts[order], ends[order]
+            slot = np.searchsorted(starts, bases, side="right") - 1
+            valid = slot >= 0
+            hit = np.zeros(bases.shape, dtype=bool)
+            hit[valid] = bases[valid] < ends[slot[valid]]
+            for granule in tagged[hit]:
+                cap = memory.cap_at_granule(int(granule))
+                self.report(
+                    f"tagged capability base={cap.base:#x} to revoked "
+                    f"memory still loadable at granule {int(granule)} ({where})"
+                )
+        spans = [(r.addr, r.addr + r.size) for r in regions]
+
+        def in_regions(base: int) -> bool:
+            return any(lo <= base < hi for lo, hi in spans)
+
+        revoker = sim.kernel.revoker
+        if revoker is not None:
+            for rf in revoker.register_files:
+                for index, cap in rf.live_caps():
+                    if in_regions(cap.base):
+                        self.report(
+                            f"tagged capability base={cap.base:#x} to revoked "
+                            f"memory in register {index} ({where})"
+                        )
+        for subsystem, hoard in sim.kernel.hoards._hoards.items():
+            for cap in hoard:
+                if cap.tag and in_regions(cap.base):
+                    self.report(
+                        f"tagged capability base={cap.base:#x} to revoked "
+                        f"memory hoarded in {subsystem!r} ({where})"
+                    )
+
+    def on_quarantine_release(self, batch: "SealedBatch", counter: int) -> None:
+        self._scan_for_caps_into(batch.regions, f"release at epoch {counter}")
+
+    def on_epoch_transition(self, counter: int) -> None:
+        if counter % 2 or self.sim is None or self.sim.mrs is None:
+            return
+        # The pass that just closed must have cleared every capability to
+        # batches whose release epoch has now arrived — they are releasable
+        # the instant the controller looks.
+        for batch in self.sim.mrs.quarantine.sealed:
+            if counter >= batch.release_at:
+                self._scan_for_caps_into(
+                    batch.regions, f"epoch {counter} closed"
+                )
+
+
+@dataclass
+class OracleSuite(SchedulerProbe):
+    """Fan one scheduler probe slot + the epoch/quarantine callbacks out
+    to a set of oracles, counting scheduler steps as the common clock."""
+
+    oracles: list[Oracle] = field(default_factory=list)
+    steps: int = 0
+
+    def bind(self, sim: "Simulation") -> None:
+        """Install the suite's hooks into ``sim`` (before ``sim.run()``)."""
+        sched = sim.machine.scheduler
+        sched.probe = self
+        sim.kernel.epoch.on_transition = self._on_epoch_transition
+        if sim.mrs is not None:
+            sim.mrs.quarantine.on_seal = self._on_quarantine_seal
+            sim.mrs.quarantine.on_release = self._on_quarantine_release
+        for oracle in self.oracles:
+            oracle.bind(sim, self)
+
+    @property
+    def violations(self) -> list[Violation]:
+        out: list[Violation] = []
+        for oracle in self.oracles:
+            out.extend(oracle.violations)
+        out.sort(key=lambda v: v.step)
+        return out
+
+    # --- Scheduler probe fan-out ---------------------------------------------
+
+    def on_pick(self, slot, thread, begin) -> None:
+        for oracle in self.oracles:
+            oracle.on_pick(slot, thread, begin)
+
+    def on_step(self, thread) -> None:
+        self.steps += 1
+        for oracle in self.oracles:
+            oracle.on_step(thread)
+
+    def on_promote(self, slot, batch) -> None:
+        for oracle in self.oracles:
+            oracle.on_promote(slot, batch)
+
+    def on_stw_begin(self, begin, held) -> None:
+        for oracle in self.oracles:
+            oracle.on_stw_begin(begin, held)
+
+    def on_stw_end(self, end, released) -> None:
+        for oracle in self.oracles:
+            oracle.on_stw_end(end, released)
+
+    # --- Epoch/quarantine fan-out ----------------------------------------------
+
+    def _on_epoch_transition(self, counter: int) -> None:
+        for oracle in self.oracles:
+            oracle.on_epoch_transition(counter)
+
+    def _on_quarantine_seal(self, batch) -> None:
+        for oracle in self.oracles:
+            oracle.on_quarantine_seal(batch)
+
+    def _on_quarantine_release(self, batch, counter) -> None:
+        for oracle in self.oracles:
+            oracle.on_quarantine_release(batch, counter)
+
+    def finish(self) -> None:
+        for oracle in self.oracles:
+            oracle.on_run_end()
+
+
+def default_oracles() -> list[Oracle]:
+    """One fresh instance of every oracle in the catalogue."""
+    return [
+        ClockStwOracle(),
+        WakeOrderOracle(),
+        QuarantineOracle(),
+        RevocationOracle(),
+    ]

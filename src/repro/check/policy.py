@@ -1,0 +1,195 @@
+"""Schedule policies: who runs when the scheduler could pick several.
+
+The scheduler's only nondeterminism-shaped decision is in ``_pick``: when
+several cores' queue heads are eligible at the same effective time (or
+within ``window`` cycles of the minimum — bounded clock drift, exactly
+what real loosely-synchronized cores exhibit), *something* has to break
+the tie. The hard-wired rule is "first core wins"; a policy replaces it.
+
+Every policy journals each pick (the index it chose among the candidate
+list) into :attr:`SchedulePolicy.journal`, so any run can be replayed
+choice for choice by :class:`ReplayPolicy` — the substrate for violation
+artifacts and trace minimization (:mod:`repro.check.replay`).
+
+Determinism contract: a policy constructed with the same arguments must
+make the same choices given the same candidate sequences. All randomness
+comes from a private seeded :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.scheduler import CoreSlot
+
+
+class SchedulePolicy:
+    """Base policy: journaling plus the default first-candidate choice.
+
+    ``window`` widens the candidate set: cores whose effective time is
+    within ``window`` cycles of the minimum are offered too. 0 restricts
+    choice to exact ties, which cannot perturb simulated timings by more
+    than the tie itself.
+    """
+
+    #: Short name used by artifacts and the CLI.
+    kind = "round-robin"
+
+    def __init__(self, window: int = 0) -> None:
+        if window < 0:
+            raise ConfigError(f"policy window must be >= 0, got {window}")
+        self.window = window
+        #: One entry per choice point: the chosen candidate index.
+        self.journal: list[int] = []
+
+    def choose(self, candidates: "Sequence[CoreSlot]") -> int:
+        index = self._select(candidates)
+        if not 0 <= index < len(candidates):
+            raise ConfigError(
+                f"{self.kind} policy chose {index} of {len(candidates)} candidates"
+            )
+        self.journal.append(index)
+        return index
+
+    def _select(self, candidates: "Sequence[CoreSlot]") -> int:
+        return 0
+
+    def describe(self) -> dict:
+        """Constructor arguments, for violation artifacts."""
+        return {"kind": self.kind, "window": self.window}
+
+
+class RoundRobinPolicy(SchedulePolicy):
+    """The historical tie-break, as a policy: always the first candidate.
+
+    With ``window=0`` this reproduces the policy-free scheduler bit for
+    bit (pinned by ``tests/test_check.py``); it exists so the explorer can
+    include the deterministic baseline schedule in a seed sweep and so
+    differential runs have a schedule that is identical across revokers.
+    """
+
+    kind = "round-robin"
+
+
+class RandomPolicy(SchedulePolicy):
+    """Uniform seeded choice among the candidates."""
+
+    kind = "random"
+
+    def __init__(self, seed: int, window: int = 0) -> None:
+        super().__init__(window)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def _select(self, candidates: "Sequence[CoreSlot]") -> int:
+        return self._rng.randrange(len(candidates))
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "window": self.window, "seed": self.seed}
+
+
+class PCTPolicy(SchedulePolicy):
+    """PCT-style priority scheduling (Burckhardt et al., ASPLOS 2010).
+
+    Each core draws a random priority; the highest-priority candidate
+    wins every choice. At ``depth`` randomly pre-drawn choice points the
+    winning core's priority is demoted below everything else — the
+    priority-change events that let PCT hit ordering bugs of depth *d*
+    with probability ≥ 1/(n·k^(d-1)). Choice points (not steps) index the
+    change points so the schedule depends only on decisions actually
+    offered to the policy.
+    """
+
+    kind = "pct"
+
+    def __init__(
+        self,
+        seed: int,
+        window: int = 0,
+        depth: int = 3,
+        horizon: int = 4096,
+    ) -> None:
+        super().__init__(window)
+        if depth < 0:
+            raise ConfigError(f"pct depth must be >= 0, got {depth}")
+        self.seed = seed
+        self.depth = depth
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+        self._priorities: dict[int, float] = {}
+        self._change_points = frozenset(
+            self._rng.randrange(max(1, horizon)) for _ in range(depth)
+        )
+        self._choices = 0
+
+    def _priority(self, core_index: int) -> float:
+        prio = self._priorities.get(core_index)
+        if prio is None:
+            prio = self._rng.random()
+            self._priorities[core_index] = prio
+        return prio
+
+    def _select(self, candidates: "Sequence[CoreSlot]") -> int:
+        best_index = max(
+            range(len(candidates)),
+            key=lambda i: self._priority(candidates[i].index),
+        )
+        if self._choices in self._change_points:
+            # Demote the winner below every current priority.
+            floor = min(self._priorities.values(), default=0.0)
+            self._priorities[candidates[best_index].index] = floor - 1.0
+        self._choices += 1
+        return best_index
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "window": self.window,
+            "seed": self.seed,
+            "depth": self.depth,
+            "horizon": self.horizon,
+        }
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Replay a recorded choice journal, defaulting to 0 past its end.
+
+    Out-of-range recorded choices (possible when a minimizer edited the
+    trace and the candidate sets shifted) are clamped rather than
+    rejected: minimization only needs the violation to still fire, not
+    the exact original schedule.
+    """
+
+    kind = "replay"
+
+    def __init__(self, trace: Sequence[int], window: int = 0) -> None:
+        super().__init__(window)
+        self.trace = list(trace)
+        self._cursor = 0
+
+    def _select(self, candidates: "Sequence[CoreSlot]") -> int:
+        if self._cursor >= len(self.trace):
+            return 0
+        choice = self.trace[self._cursor]
+        self._cursor += 1
+        return min(max(choice, 0), len(candidates) - 1)
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "window": self.window, "trace": self.trace}
+
+
+def make_policy(kind: str, seed: int = 0, window: int = 0, **kwargs) -> SchedulePolicy:
+    """Policy factory used by the CLI and the explorer."""
+    if kind == "round-robin":
+        return RoundRobinPolicy(window)
+    if kind == "random":
+        return RandomPolicy(seed, window)
+    if kind == "pct":
+        return PCTPolicy(seed, window, **kwargs)
+    raise ConfigError(
+        f"unknown schedule policy {kind!r}; choose from: round-robin, random, pct"
+    )

@@ -1,0 +1,182 @@
+"""Violation artifacts: persist, minimize, and replay a failing schedule.
+
+A :class:`ViolationArtifact` captures everything needed to re-run one
+failing interleaving deterministically: the scenario, revoker, workload
+seed, and the policy's recorded choice journal. Replaying is just the
+same simulation under :class:`~repro.check.policy.ReplayPolicy`, so the
+artifact stays valid as long as the scenario exists.
+
+Minimization shrinks the journal before it is saved: first a binary
+search for the shortest violating prefix (past the journal's end the
+replay policy falls back to first-candidate, so prefixes are meaningful
+schedules), then a greedy pass zeroing individual choices. Both steps
+only require that *a* violation still fires, not the exact original one
+— the shrunken schedule is often a cleaner witness than the original.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.check.explorer import Explorer, SeedResult
+from repro.check.policy import ReplayPolicy
+from repro.core.config import RevokerKind
+from repro.errors import ConfigError
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class ViolationArtifact:
+    """A replayable witness of one oracle violation."""
+
+    scenario: str
+    revoker: str
+    workload_seed: int
+    window: int
+    #: The (possibly minimized) choice journal that reproduces the bug.
+    trace: list[int]
+    #: The policy that originally found it, for provenance.
+    policy: dict = field(default_factory=dict)
+    violations: list[dict] = field(default_factory=list)
+    version: int = ARTIFACT_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "scenario": self.scenario,
+            "revoker": self.revoker,
+            "workload_seed": self.workload_seed,
+            "window": self.window,
+            "trace": self.trace,
+            "policy": self.policy,
+            "violations": self.violations,
+        }
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ViolationArtifact":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read violation artifact {path}: {exc}") from exc
+        if data.get("version") != ARTIFACT_VERSION:
+            raise ConfigError(
+                f"artifact {path} has version {data.get('version')!r}, "
+                f"this build reads {ARTIFACT_VERSION}"
+            )
+        return cls(
+            scenario=data["scenario"],
+            revoker=data["revoker"],
+            workload_seed=data["workload_seed"],
+            window=data["window"],
+            trace=list(data["trace"]),
+            policy=dict(data.get("policy", {})),
+            violations=list(data.get("violations", [])),
+        )
+
+
+def _replay_run(
+    scenario: str,
+    revoker: RevokerKind,
+    workload_seed: int,
+    trace: Sequence[int],
+    window: int,
+) -> SeedResult:
+    explorer = Explorer(
+        scenario, revoker=revoker, window=window, workload_seed=workload_seed
+    )
+    return explorer.run_seed(seed=-1, policy=ReplayPolicy(trace, window))
+
+
+def minimize_trace(
+    trace: Sequence[int],
+    violates: Callable[[list[int]], bool],
+    max_runs: int = 48,
+) -> list[int]:
+    """Shrink ``trace`` while ``violates`` keeps firing.
+
+    ``violates`` takes a candidate journal and returns whether replaying
+    it still produces any violation. At most ``max_runs`` replays are
+    spent; the best trace found within the budget is returned.
+    """
+    # Shortest violating prefix, by binary search: replay past the end of
+    # a prefix degenerates to first-candidate picks, so if violates(t[:k])
+    # fires the bug needs only the first k recorded choices.
+    lo, hi = 0, len(trace)
+    runs = 0
+    while lo < hi and runs < max_runs:
+        mid = (lo + hi) // 2
+        runs += 1
+        if violates(list(trace[:mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    best = list(trace[:hi])
+    # Greedy pass: try to default individual choices back to 0.
+    for i in range(len(best)):
+        if runs >= max_runs:
+            break
+        if best[i] == 0:
+            continue
+        candidate = best.copy()
+        candidate[i] = 0
+        runs += 1
+        if violates(candidate):
+            best = candidate
+    return best
+
+
+def build_artifact(
+    result: SeedResult,
+    scenario: str,
+    revoker: RevokerKind,
+    workload_seed: int,
+    window: int = 0,
+    minimize: bool = True,
+    max_runs: int = 48,
+) -> ViolationArtifact:
+    """Turn a failing :class:`SeedResult` into a saveable artifact,
+    minimizing its journal when asked (and when the violation replays —
+    a violation that needs wall-clock state the replay cannot reproduce
+    is saved with the full journal instead)."""
+    if result.ok:
+        raise ConfigError("cannot build a violation artifact from a passing run")
+    trace = list(result.journal)
+
+    def violates(candidate: list[int]) -> bool:
+        replayed = _replay_run(scenario, revoker, workload_seed, candidate, window)
+        return not replayed.ok
+
+    if minimize and violates(trace):
+        trace = minimize_trace(trace, violates, max_runs=max_runs)
+    return ViolationArtifact(
+        scenario=scenario,
+        revoker=revoker.value,
+        workload_seed=workload_seed,
+        window=window,
+        trace=trace,
+        policy=result.policy,
+        violations=[v.to_dict() for v in result.violations],
+    )
+
+
+def replay_artifact(artifact: ViolationArtifact | Path | str) -> SeedResult:
+    """Re-run an artifact's schedule with the oracle suite attached."""
+    if not isinstance(artifact, ViolationArtifact):
+        artifact = ViolationArtifact.load(artifact)
+    return _replay_run(
+        artifact.scenario,
+        RevokerKind(artifact.revoker),
+        artifact.workload_seed,
+        artifact.trace,
+        artifact.window,
+    )

@@ -1,0 +1,168 @@
+"""Named checking scenarios: small rigs sized for hundreds of runs.
+
+A scenario bundles a seeded workload factory with a machine shape tuned
+for exploration (a few MiB of memory so numpy granule arrays stay tiny,
+aggressive quarantine floors so revocation epochs actually happen within
+a short run). Exploration sweeps one scenario across many schedule seeds;
+the workload seed stays fixed per simulation seed so that any schedule
+divergence is the scheduler's doing, not the workload's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.alloc.quarantine import QuarantinePolicy
+from repro.core.config import MachineConfig, RevokerKind, SimulationConfig
+from repro.core.simulation import Simulation
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.churn import ChurnProfile, ChurnWorkload, SizeMix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.simulation import AppContext
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named (workload factory, machine shape) rig for checking runs."""
+
+    name: str
+    description: str
+    make_workload: Callable[[int], Workload]
+    memory_bytes: int = 4 << 20
+    num_cores: int = 4
+
+    def config(self, revoker: RevokerKind = RevokerKind.RELOADED) -> SimulationConfig:
+        return SimulationConfig(
+            revoker=revoker,
+            machine=MachineConfig(
+                memory_bytes=self.memory_bytes, num_cores=self.num_cores
+            ),
+        )
+
+    def build(
+        self,
+        workload_seed: int,
+        revoker: RevokerKind = RevokerKind.RELOADED,
+    ) -> Simulation:
+        """A fresh simulation of this scenario (one run's worth)."""
+        return Simulation(self.make_workload(workload_seed), self.config(revoker))
+
+
+def _churn(
+    heap_bytes: int, churn_bytes: int, quarantine_floor: int
+) -> Callable[[int], Workload]:
+    def make(seed: int) -> Workload:
+        profile = ChurnProfile(
+            name="check-churn",
+            heap_bytes=heap_bytes,
+            churn_bytes=churn_bytes,
+            size_mix=SizeMix((64, 256, 1024), (0.5, 0.3, 0.2)),
+            pointer_slots=2,
+            seed=seed,
+        )
+        return ChurnWorkload(profile, QuarantinePolicy(min_bytes=quarantine_floor))
+
+    return make
+
+
+class SleeperWorkload(Workload):
+    """Two threads interleaving tiny allocator bursts with seeded idle
+    gaps of widely varying length — plus a pure-sleeper helper thread
+    sharing thread 0's core, so one core routinely holds *several*
+    sleepers with unordered wake times at once. That is the population
+    the wake-order oracle (and the sleeper-promotion ordering bugfix it
+    pins) exists for. Frees are small but the quarantine floor below is
+    smaller, so revocation epochs still happen.
+    """
+
+    name = "sleepers"
+    quarantine_policy = QuarantinePolicy(min_bytes=2 << 10)
+
+    def __init__(self, seed: int, rounds: int = 120) -> None:
+        self.seed = seed
+        self.rounds = rounds
+
+    def thread_bodies(self):
+        return [
+            ("sleeper-0", self._body(0)),
+            ("sleeper-1", self._body(1)),
+        ]
+
+    def _helper(self) -> Generator:
+        from repro.machine.scheduler import Sleep
+
+        rng = random.Random(self.seed * 7 + 13)
+        for _ in range(self.rounds):
+            yield rng.randrange(100, 1_500)
+            yield Sleep(rng.randrange(100, 20_000))
+
+    def _body(self, index: int):
+        def run(ctx: "AppContext") -> Generator:
+            rng = random.Random(self.seed * 1_000_003 + index)
+            if index == 0:
+                # A co-resident sleeper on this very core: promotions of
+                # two sleepers in one decision need a shared core.
+                ctx.sim.machine.scheduler.spawn(
+                    "sleeper-helper", self._helper(), ctx.slot.index
+                )
+            caps = []
+            for round_no in range(self.rounds):
+                cap = yield from ctx.malloc(64 + 16 * (round_no % 4))
+                caps.append(cap)
+                if len(caps) > 4:
+                    yield from ctx.free(caps.pop(0))
+                yield from ctx.compute(rng.randrange(200, 2_000))
+                yield from ctx.idle(rng.randrange(100, 20_000))
+            for cap in caps:
+                yield from ctx.free(cap)
+
+        return run
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="churn-small",
+            description=(
+                "96 KiB heap churning 512 KiB with a 16 KiB quarantine "
+                "floor; several revocation epochs per run"
+            ),
+            make_workload=_churn(96 << 10, 512 << 10, 16 << 10),
+        ),
+        Scenario(
+            name="churn-tiny",
+            description=(
+                "48 KiB heap churning 192 KiB with an 8 KiB quarantine "
+                "floor; the fastest useful rig"
+            ),
+            make_workload=_churn(48 << 10, 192 << 10, 8 << 10),
+            memory_bytes=2 << 20,
+        ),
+        Scenario(
+            name="sleepers",
+            description=(
+                "two threads with seeded idle gaps, one sharing the "
+                "controller's core; exercises sleeper promotion and the "
+                "stop-the-world hold/floor discipline"
+            ),
+            make_workload=SleeperWorkload,
+            memory_bytes=2 << 20,
+        ),
+    )
+}
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a scenario by name, with a helpful error."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; choose from: "
+            + ", ".join(sorted(SCENARIOS))
+        ) from None

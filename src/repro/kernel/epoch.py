@@ -13,6 +13,8 @@ computes that threshold.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import SimulationError
 from repro.machine.scheduler import Event
 from repro.obs.tracer import TRACER
@@ -36,6 +38,10 @@ class EpochClock:
         self.changed = Event("epoch-changed")
         #: Epochs completed (counter end-transitions), for rate statistics.
         self.completed = 0
+        #: Oracle probe point (:mod:`repro.check`): called with the new
+        #: counter value after every begin/end transition. ``None`` (the
+        #: default) costs one attribute test per transition.
+        self.on_transition: Callable[[int], None] | None = None
 
     @property
     def revoking(self) -> bool:
@@ -46,6 +52,8 @@ class EpochClock:
         if self.revoking:
             raise SimulationError("revocation already in flight")
         self.counter += 1
+        if self.on_transition is not None:
+            self.on_transition(self.counter)
         if TRACER.enabled:
             TRACER.emit("epoch.tick", counter=self.counter, revoking=True)
 
@@ -54,6 +62,8 @@ class EpochClock:
             raise SimulationError("no revocation in flight")
         self.counter += 1
         self.completed += 1
+        if self.on_transition is not None:
+            self.on_transition(self.counter)
         if TRACER.enabled:
             TRACER.emit("epoch.tick", counter=self.counter, revoking=False)
 

@@ -19,6 +19,18 @@ round-robin with a preemption quantum models timesharing — which is what
 lets the background revoker steal time from gRPC's unpinned server
 threads (§5.3, §7.7).
 
+Two optional, check-oriented attachment points (both ``None`` by default,
+costing one attribute test per step; see :mod:`repro.check`):
+
+- :attr:`Scheduler.policy` — a schedule policy that resolves the choice
+  among equal-time candidate cores in :meth:`Scheduler._pick` (and, with a
+  nonzero ``window``, among near-equal ones). With no policy installed the
+  pick is the hard-wired first-minimal-core rule, bit-identical to the
+  historical behaviour.
+- :attr:`Scheduler.probe` — a :class:`SchedulerProbe` observing dispatch,
+  step completion, sleeper promotion, and stop-the-world transitions; the
+  temporal-safety oracles hang off these.
+
 Convention used throughout the package: every kernel or allocator entry
 point that can consume simulated time or block is itself a generator,
 composed with ``yield from``; leaf helpers return plain cycle counts that
@@ -30,7 +42,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Generator, Iterable
+from typing import Callable, Generator, Iterable, Protocol
 
 from repro.errors import SimulationError
 from repro.machine.cpu import Core
@@ -95,6 +107,48 @@ class ResumeWorld:
     """Yielded by the revoker to restart the world."""
 
     __slots__ = ()
+
+
+class SchedulerProbe:
+    """Observer interface for schedule checking (all hooks no-ops here).
+
+    A probe sees every scheduling decision as it happens: thread dispatch
+    (with the core clock it will run at), step completion, which sleepers
+    were promoted together, and stop-the-world hold/release sets. The
+    oracles in :mod:`repro.check.oracle` subclass this; the scheduler
+    guards every call site with ``if self.probe is not None`` so the
+    disabled cost is one attribute test.
+    """
+
+    def on_pick(self, slot: "CoreSlot", thread: "Thread", begin: int) -> None:
+        """``thread`` is about to run on ``slot`` at core time ``begin``
+        (``slot.time`` still holds the pre-fast-forward clock)."""
+
+    def on_step(self, thread: "Thread") -> None:
+        """``thread`` just completed one step (its core clock is final)."""
+
+    def on_promote(self, slot: "CoreSlot", batch: "list[Thread]") -> None:
+        """``batch`` (in enqueue order) was promoted from sleep onto
+        ``slot``'s run queue in one scheduling decision."""
+
+    def on_stw_begin(self, begin: int, held: "list[Thread]") -> None:
+        """A stop-the-world began at ``begin``, holding ``held``."""
+
+    def on_stw_end(self, end: int, released: "list[Thread]") -> None:
+        """The stop-the-world ended at ``end``, releasing ``released``."""
+
+
+class SchedulePolicyLike(Protocol):
+    """What :attr:`Scheduler.policy` must look like (duck-typed so the
+    policies can live in :mod:`repro.check` without an import cycle)."""
+
+    #: Candidate cores within this many cycles of the minimal effective
+    #: time are offered to :meth:`choose` (0 = exact ties only).
+    window: int
+
+    def choose(self, candidates: "list[CoreSlot]") -> int:
+        """Return an index into ``candidates`` (≥ 2 entries)."""
+        ...
 
 
 class ThreadState(enum.Enum):
@@ -178,6 +232,13 @@ class Scheduler:
         self.stw_records: list[StwRecord] = []
         #: Called with each StwRecord as it completes (metrics hook).
         self.on_stw: Callable[[StwRecord], None] | None = None
+        #: Optional schedule policy (see :mod:`repro.check.policy`): an
+        #: object with a ``window`` attribute (cycles of tolerated clock
+        #: drift among candidates) and ``choose(candidates) -> index``.
+        #: ``None`` keeps the hard-wired first-minimal-core pick.
+        self.policy: "SchedulePolicyLike | None" = None
+        #: Optional :class:`SchedulerProbe` observing every decision.
+        self.probe: SchedulerProbe | None = None
         self._steps = 0
 
     # --- Thread management ---------------------------------------------------
@@ -232,11 +293,19 @@ class Scheduler:
     # --- Stop-the-world ---------------------------------------------------------
 
     def _stop_world(self, requester: Thread) -> None:
+        # Rendezvous invariant: the requester is charged up to the clock of
+        # every core with RUNNABLE work to stop — those threads must reach a
+        # safe point. SLEEPING and BLOCKED threads are already off-CPU at a
+        # safe point, so their cores add nothing to the rendezvous; in
+        # exchange, _resume_world floors *every* held thread (whatever its
+        # held state) at the pause's end, so nothing held here can ever
+        # execute inside the recorded [begin, end] window.
         if self.stw_active:
             raise SimulationError("nested stop-the-world")
         self.stw_active = True
         self._stw_requester = requester
         rendezvous = requester.core.time
+        held: list[Thread] = []
         for thread in self.threads:
             if thread is requester or not thread.stops_for_stw:
                 continue
@@ -245,15 +314,20 @@ class Scheduler:
                 thread.core.runq.remove(thread)
                 thread._held_state = ThreadState.RUNNABLE
                 thread.state = ThreadState.STOPPED
+                held.append(thread)
             elif thread.state is ThreadState.SLEEPING:
                 self._sleeping.remove(thread)
                 thread._held_state = ThreadState.SLEEPING
                 thread.state = ThreadState.STOPPED
+                held.append(thread)
             elif thread.state is ThreadState.BLOCKED:
                 thread._held_state = ThreadState.BLOCKED
                 thread.state = ThreadState.STOPPED
+                held.append(thread)
         requester.core.time = max(requester.core.time, rendezvous)
         self._stw_begin = requester.core.time
+        if self.probe is not None:
+            self.probe.on_stw_begin(self._stw_begin, held)
         if TRACER.enabled:
             stopped = sum(
                 1 for t in self.threads if t.state is ThreadState.STOPPED
@@ -264,11 +338,13 @@ class Scheduler:
         if not self.stw_active or self._stw_requester is not requester:
             raise SimulationError("resume-world without matching stop-the-world")
         end = requester.core.time
+        released: list[Thread] = []
         for thread in self.threads:
             if thread.state is not ThreadState.STOPPED:
                 continue
             held = thread._held_state
             thread._held_state = None
+            released.append(thread)
             if held is ThreadState.RUNNABLE or thread._pending_wake:
                 thread._pending_wake = False
                 thread.state = ThreadState.RUNNABLE
@@ -280,6 +356,11 @@ class Scheduler:
                 self._sleeping.append(thread)
             elif held is ThreadState.BLOCKED:
                 thread.state = ThreadState.BLOCKED
+                # A later signal() may carry an at_time that predates this
+                # pause (a lagging core's view); without raising the floor
+                # here, the woken thread could run *inside* the recorded
+                # STW window it was held through.
+                thread.wake_floor = max(thread.wake_floor, end)
             else:  # spawned during STW with no pending wake
                 thread.state = ThreadState.RUNNABLE
                 thread.wake_floor = max(thread.wake_floor, end)
@@ -288,6 +369,8 @@ class Scheduler:
         self._stw_requester = None
         record = StwRecord(begin=self._stw_begin, end=end)
         self.stw_records.append(record)
+        if self.probe is not None:
+            self.probe.on_stw_end(end, released)
         if TRACER.enabled:
             TRACER.emit("stw.end", ts=end, duration=record.duration)
         if self.on_stw is not None:
@@ -299,32 +382,76 @@ class Scheduler:
         if not self._sleeping:
             return
         still = []
+        promoted: list[Thread] = []
         for thread in self._sleeping:
             slot = thread.core
             if slot.runq and thread.wake_floor > slot.time:
                 still.append(thread)
                 continue
             # Due now, or the core is idle (it fast-forwards to the wake).
-            thread.state = ThreadState.RUNNABLE
-            slot.runq.append(thread)
+            promoted.append(thread)
         self._sleeping[:] = still
+        if not promoted:
+            return
+        # Enqueue in wake order, not insertion order: an idle core
+        # fast-forwards its clock to the queue head's wake_floor, so a
+        # later-waking sleeper queued first would drag every earlier
+        # sleeper behind it past its own wake time.
+        promoted.sort(key=lambda t: t.wake_floor)
+        batches: dict[int, list[Thread]] = {}
+        for thread in promoted:
+            thread.state = ThreadState.RUNNABLE
+            thread.core.runq.append(thread)
+            batches.setdefault(thread.core.index, []).append(thread)
+        if self.probe is not None:
+            for index, batch in batches.items():
+                self.probe.on_promote(self.cores[index], batch)
 
     def _pick(self) -> Thread | None:
         self._promote_due_sleepers()
+        policy = self.policy
         best: CoreSlot | None = None
         best_time = 0
+        if policy is None:
+            for slot in self.cores:
+                if not slot.runq:
+                    continue
+                head = slot.runq[0]
+                effective = max(slot.time, head.wake_floor)
+                if best is None or effective < best_time:
+                    best = slot
+                    best_time = effective
+            if best is None:
+                return None
+        else:
+            best = self._pick_with_policy(policy)
+            if best is None:
+                return None
+        head = best.runq[0]
+        if self.probe is not None:
+            self.probe.on_pick(best, head, max(best.time, head.wake_floor))
+        best.time = max(best.time, head.wake_floor)
+        return head
+
+    def _pick_with_policy(self, policy: "SchedulePolicyLike") -> CoreSlot | None:
+        """Delegate the choice among (near-)equal-time candidate cores to
+        the installed policy. With ``window == 0`` the candidate set is
+        exactly the cores tied at the minimal effective time, so a policy
+        that always answers 0 reproduces the default pick bit for bit."""
+        candidates: list[CoreSlot] = []
+        times: list[int] = []
         for slot in self.cores:
             if not slot.runq:
                 continue
-            head = slot.runq[0]
-            effective = max(slot.time, head.wake_floor)
-            if best is None or effective < best_time:
-                best = slot
-                best_time = effective
-        if best is None:
+            candidates.append(slot)
+            times.append(max(slot.time, slot.runq[0].wake_floor))
+        if not candidates:
             return None
-        best.time = max(best.time, best.runq[0].wake_floor)
-        return best.runq[0]
+        cutoff = min(times) + policy.window
+        eligible = [s for s, t in zip(candidates, times) if t <= cutoff]
+        if len(eligible) == 1:
+            return eligible[0]
+        return eligible[policy.choose(eligible)]
 
     def _rotate(self, thread: Thread) -> None:
         slot = thread.core
@@ -346,6 +473,8 @@ class Scheduler:
                 raise SimulationError(
                     f"thread {thread.name} exited with the world stopped"
                 )
+            if self.probe is not None:
+                self.probe.on_step(thread)
             return
         if isinstance(item, (int, float)):
             cycles = int(item)
@@ -368,13 +497,21 @@ class Scheduler:
             thread._credit = 0
             item.event.waiters.append(thread)
         elif isinstance(item, StopWorld):
+            # An STW episode is a scheduling boundary: the requester's
+            # accumulated quantum credit must not leak across it, or a
+            # revoker sharing a core gets preempted mid-sweep for work it
+            # did *before* the pause (and vice versa at resume).
+            thread._credit = 0
             self._stop_world(thread)
         elif isinstance(item, ResumeWorld):
+            thread._credit = 0
             self._resume_world(thread)
         else:
             raise SimulationError(
                 f"{thread.name} yielded unsupported item {item!r}"
             )
+        if self.probe is not None:
+            self.probe.on_step(thread)
 
     def run_until_condition(self, condition: Callable[[], bool], max_steps: int = 10_000_000) -> int:
         """Step the simulation until ``condition()`` holds (used to drain

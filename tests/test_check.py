@@ -1,0 +1,379 @@
+"""Tests for the schedule-exploration engine and temporal-safety oracles.
+
+Covers: policy semantics and determinism, bit-identity of the default
+round-robin policy with the policy-free scheduler, the oracle suite on
+clean runs, the sleeper-ordering bug being *caught* when deliberately
+re-introduced (with a minimized, replayable artifact), artifact
+round-trips, the epoch full-pass property under hypothesis, and the
+``repro check`` CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.check import (
+    Explorer,
+    OracleSuite,
+    PCTPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    RoundRobinPolicy,
+    ViolationArtifact,
+    build_artifact,
+    default_oracles,
+    make_policy,
+    minimize_trace,
+    replay_artifact,
+    scenario,
+)
+from repro.check.explorer import memory_fingerprint
+from repro.check.oracle import ClockStwOracle, QuarantineOracle, WakeOrderOracle
+from repro.cli import main
+from repro.core.config import RevokerKind
+from repro.errors import ConfigError
+from repro.kernel.epoch import EpochClock, release_epoch_for
+from repro.machine.scheduler import Scheduler, ThreadState
+
+
+class _Slot:
+    """Bare candidate stand-in: policies only read ``.index``."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+SLOTS = [_Slot(i) for i in range(4)]
+
+
+class TestPolicies:
+    def test_round_robin_always_first(self):
+        p = RoundRobinPolicy()
+        assert [p.choose(SLOTS) for _ in range(5)] == [0] * 5
+        assert p.journal == [0] * 5
+
+    def test_random_policy_is_deterministic_per_seed(self):
+        a = [RandomPolicy(7).choose(SLOTS) for _ in range(50)]
+        b = [RandomPolicy(7).choose(SLOTS) for _ in range(50)]
+        c = [RandomPolicy(8).choose(SLOTS) for _ in range(50)]
+        assert a == b
+        assert a != c  # astronomically unlikely to collide
+
+    def test_pct_policy_deterministic_and_in_range(self):
+        a = PCTPolicy(3, depth=2)
+        b = PCTPolicy(3, depth=2)
+        ca = [a.choose(SLOTS) for _ in range(64)]
+        cb = [b.choose(SLOTS) for _ in range(64)]
+        assert ca == cb
+        assert all(0 <= i < len(SLOTS) for i in ca)
+
+    def test_replay_policy_follows_trace_then_defaults(self):
+        p = ReplayPolicy([2, 1, 9])
+        assert p.choose(SLOTS) == 2
+        assert p.choose(SLOTS) == 1
+        assert p.choose(SLOTS) == 3  # 9 clamped to len-1
+        assert p.choose(SLOTS) == 0  # past the end
+
+    def test_journal_records_choices(self):
+        p = RandomPolicy(1)
+        picks = [p.choose(SLOTS) for _ in range(10)]
+        assert p.journal == picks
+        replay = ReplayPolicy(p.journal)
+        assert [replay.choose(SLOTS) for _ in range(10)] == picks
+
+    def test_make_policy_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown schedule policy"):
+            make_policy("fifo")
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigError, match="window"):
+            RandomPolicy(0, window=-1)
+
+
+class TestRoundRobinBitIdentity:
+    """The default policy must reproduce the policy-free scheduler bit
+    for bit — installing the checking machinery cannot move a single
+    simulated cycle of the paper's results."""
+
+    @pytest.mark.parametrize("kind", [RevokerKind.RELOADED, RevokerKind.CHERIVOKE])
+    def test_round_robin_matches_no_policy(self, kind):
+        scn = scenario("churn-tiny")
+
+        def run(policy):
+            sim = scn.build(0, kind)
+            sim.machine.scheduler.policy = policy
+            sim.alloc.trace_addresses = []
+            result = sim.run()
+            return (
+                result.wall_cycles,
+                [(r.begin, r.end) for r in sim.machine.scheduler.stw_records],
+                sim.kernel.epoch.counter,
+                memory_fingerprint(sim),
+            )
+
+        assert run(None) == run(RoundRobinPolicy())
+
+
+class TestOracleUnits:
+    def test_clock_stw_oracle_flags_overlap(self):
+        o = ClockStwOracle()
+        o.on_stw_begin(100, [])
+        o.on_stw_end(200, [])
+        o.on_stw_begin(150, [])  # begins before the previous pause ended
+        assert any("overlaps" in v.message for v in o.violations)
+
+    def test_wake_order_oracle_flags_unsorted_batch(self):
+        class T:
+            def __init__(self, name, floor):
+                self.name = name
+                self.wake_floor = floor
+
+        o = WakeOrderOracle()
+        o.on_promote(SLOTS[0], [T("late", 500), T("early", 100)])
+        assert any("out of wake" in v.message for v in o.violations)
+        o2 = WakeOrderOracle()
+        o2.on_promote(SLOTS[0], [T("early", 100), T("late", 500)])
+        assert not o2.violations
+
+    def test_quarantine_oracle_flags_early_release(self):
+        from repro.alloc.quarantine import SealedBatch
+
+        o = QuarantineOracle()
+        for counter in (1, 2):
+            o.on_epoch_transition(counter)
+        batch = SealedBatch([], 0, observed_epoch=2)
+        o.on_quarantine_seal(batch)
+        o.on_epoch_transition(3)  # a pass begins but never ends...
+        o.on_quarantine_release(batch, 3)  # ...and the batch drains early
+        messages = [v.message for v in o.violations]
+        assert any("before its release epoch" in m for m in messages)
+        assert any("no full begin->end" in m for m in messages)
+
+    def test_quarantine_oracle_accepts_lawful_release(self):
+        from repro.alloc.quarantine import SealedBatch
+
+        o = QuarantineOracle()
+        batch = SealedBatch([], 0, observed_epoch=0)
+        o.on_quarantine_seal(batch)
+        o.on_epoch_transition(1)
+        o.on_epoch_transition(2)
+        o.on_quarantine_release(batch, 2)
+        assert not o.violations
+
+
+class TestExplorer:
+    def test_clean_sweep_has_no_violations(self):
+        ex = Explorer("sleepers", policy_kind="random")
+        report = ex.explore(range(3), differential=False)
+        assert report.ok
+        assert len(report.results) == 3
+        # Random scheduling genuinely perturbed something at least once.
+        assert any(r.journal for r in report.results)
+
+    def test_pct_policy_sweep_is_clean(self):
+        ex = Explorer("sleepers", policy_kind="pct")
+        assert ex.explore(range(3), differential=False).ok
+
+    def test_differential_is_clean(self):
+        ex = Explorer("churn-tiny")
+        assert ex.run_differential() == []
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            Explorer("spectre")
+
+
+def _buggy_promote(self):
+    """The pre-fix `_promote_due_sleepers`: insertion order, no sort."""
+    if not self._sleeping:
+        return
+    still = []
+    promoted = []
+    for thread in self._sleeping:
+        slot = thread.core
+        if slot.runq and thread.wake_floor > slot.time:
+            still.append(thread)
+            continue
+        promoted.append(thread)
+    self._sleeping[:] = still
+    if not promoted:
+        return
+    batches = {}
+    for thread in promoted:
+        thread.state = ThreadState.RUNNABLE
+        thread.core.runq.append(thread)
+        batches.setdefault(thread.core.index, []).append(thread)
+    if self.probe is not None:
+        for index, batch in batches.items():
+            self.probe.on_promote(self.cores[index], batch)
+
+
+class TestExplorerCatchesReintroducedBug:
+    """Acceptance: deliberately re-introduce the sleeper-ordering bug and
+    the explorer must catch it, minimize it, and hand back an artifact
+    that replays red under the bug and green once it is fixed again."""
+
+    def test_sleeper_bug_caught_minimized_and_replayable(self, tmp_path):
+        ex = Explorer("sleepers", policy_kind="random")
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(Scheduler, "_promote_due_sleepers", _buggy_promote)
+            report = ex.explore(range(3), differential=False)
+            assert report.failures, "explorer failed to catch the bug"
+            fail = report.failures[0]
+            assert any(v.oracle == "wake-order" for v in fail.violations)
+            artifact = build_artifact(
+                fail, "sleepers", RevokerKind.RELOADED, ex.workload_seed
+            )
+            assert len(artifact.trace) <= len(fail.journal)
+            path = tmp_path / "violation.json"
+            artifact.save(path)
+            replayed = replay_artifact(path)
+            assert not replayed.ok  # still red while the bug is in
+        # Bug fixed again (monkeypatch context exited): same artifact
+        # replays clean.
+        assert replay_artifact(path).ok
+
+
+class TestArtifacts:
+    def test_roundtrip(self, tmp_path):
+        art = ViolationArtifact(
+            scenario="sleepers",
+            revoker="reloaded",
+            workload_seed=3,
+            window=0,
+            trace=[0, 2, 1],
+            policy={"kind": "random", "seed": 9, "window": 0},
+            violations=[{"oracle": "wake-order", "message": "m", "step": 1, "wall": 2}],
+        )
+        path = tmp_path / "a.json"
+        art.save(path)
+        loaded = ViolationArtifact.load(path)
+        assert loaded == art
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="cannot read"):
+            ViolationArtifact.load(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "v9.json"
+        path.write_text('{"version": 9}')
+        with pytest.raises(ConfigError, match="version"):
+            ViolationArtifact.load(path)
+
+    def test_build_artifact_requires_failure(self):
+        from repro.check.explorer import SeedResult
+
+        ok = SeedResult(0, {}, [], 0, 0, [])
+        with pytest.raises(ConfigError, match="passing run"):
+            build_artifact(ok, "sleepers", RevokerKind.RELOADED, 0)
+
+    def test_minimize_trace_prefix_and_zeroing(self):
+        # A synthetic predicate: the "bug" fires iff trace[2] == 5.
+        def violates(trace):
+            return len(trace) > 2 and trace[2] == 5
+
+        out = minimize_trace([3, 1, 5, 2, 4, 7], violates)
+        assert violates(out)
+        assert len(out) == 3  # shortest violating prefix
+        assert out == [0, 0, 5]  # everything else zeroed
+
+
+class TestEpochFullPassProperty:
+    """§2.2.3: release_epoch_for must guarantee a *full* revocation pass
+    (a begin transition and its matching end, both after the paint's
+    epoch read) before quarantined memory is released."""
+
+    @given(observed=st.integers(min_value=0, max_value=10_000))
+    def test_release_threshold_contains_full_pass(self, observed):
+        clock = EpochClock()
+        clock.counter = observed
+        transitions = []
+        clock.on_transition = transitions.append
+        release = release_epoch_for(observed)
+        while clock.counter < release:
+            if clock.revoking:
+                clock.end_revocation()
+            else:
+                clock.begin_revocation()
+        assert any(
+            b % 2 == 1 and b > observed and b + 1 in transitions
+            for b in transitions
+        )
+        # And the threshold is tight: one transition fewer never contains
+        # a full pass begun after the observation.
+        short = [t for t in transitions if t < release]
+        assert not any(
+            b % 2 == 1 and b > observed and b + 1 in short for b in short
+        )
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_quarantine_discipline_holds_under_random_schedules(self, seed):
+        ex = Explorer(
+            "churn-tiny",
+            policy_kind="random",
+            oracle_factory=lambda: [QuarantineOracle()],
+        )
+        result = ex.run_seed(seed)
+        assert result.ok, [str(v) for v in result.violations]
+
+
+class TestCheckCli:
+    def test_explore_clean_exits_zero(self, capsys):
+        rc = main([
+            "check", "--seed-range", "0:2", "--scenario", "sleepers", "--quiet",
+        ])
+        assert rc == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_explore_writes_artifact_on_failure(self, tmp_path, capsys):
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(Scheduler, "_promote_due_sleepers", _buggy_promote)
+            rc = main([
+                "check", "--seed-range", "0:1", "--scenario", "sleepers",
+                "--quiet", "--no-differential", "--no-minimize",
+                "--artifact-dir", str(tmp_path),
+                "--timeline", str(tmp_path / "timeline.json"),
+            ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        artifacts = list(tmp_path.glob("violation-*.json"))
+        assert artifacts, out
+        assert (tmp_path / "timeline.json").exists()
+        # And the replay subcommand reads what explore wrote: the bug is
+        # fixed here, so the replay reports clean and exits 0.
+        rc = main(["check", "replay", str(artifacts[0])])
+        assert rc == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_replay_requires_artifact(self, capsys):
+        assert main(["check", "replay"]) == 2
+        assert "requires an artifact" in capsys.readouterr().err
+
+    def test_bad_seed_range(self, capsys):
+        rc = main(["check", "--seed-range", "nope", "--scenario", "sleepers"])
+        assert rc == 2
+        assert "start:end" in capsys.readouterr().err
+
+
+class TestOracleSuiteWiring:
+    def test_suite_installs_every_hook(self):
+        scn = scenario("churn-tiny")
+        sim = scn.build(0, RevokerKind.RELOADED)
+        suite = OracleSuite(default_oracles())
+        suite.bind(sim)
+        assert sim.machine.scheduler.probe is suite
+        assert sim.kernel.epoch.on_transition is not None
+        assert sim.mrs.quarantine.on_seal is not None
+        assert sim.mrs.quarantine.on_release is not None
+        sim.run()
+        suite.finish()
+        assert suite.steps > 0
+        assert suite.violations == []

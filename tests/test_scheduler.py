@@ -280,6 +280,110 @@ class TestStopTheWorld:
         assert len(seen) == 1 and seen[0].duration >= 100
 
 
+class TestSleeperPromotionOrder:
+    """Regression: sleepers co-promoted onto one core must enter the run
+    queue in wake_floor order, not the order they went to sleep. An idle
+    core fast-forwards to its queue head's wake time, so a later-waking
+    sleeper queued first drags earlier sleepers past their own wakes."""
+
+    def test_two_sleepers_wake_in_floor_order(self, sched):
+        order = []
+
+        def sleeper(name, delay):
+            def body():
+                yield Sleep(delay)
+                order.append((name, sched.cores[0].time))
+                yield 10
+
+            return body()
+
+        # Deliberately spawn (and hence sleep) the LATER-waking thread
+        # first: insertion order disagrees with wake order.
+        sched.spawn("late", sleeper("late", 2000), 0)
+        sched.spawn("early", sleeper("early", 1000), 0)
+        sched.run()
+        assert [name for name, _ in order] == ["early", "late"]
+        # And each woke at its own wake_floor, not dragged past it.
+        assert order[0][1] == 1000
+        assert order[1][1] == 2000
+
+    def test_promotion_batch_reported_in_wake_order(self, sched):
+        from repro.machine.scheduler import SchedulerProbe
+
+        batches = []
+
+        class Probe(SchedulerProbe):
+            def on_promote(self, slot, batch):
+                batches.append([t.name for t in batch])
+
+        sched.probe = Probe()
+        sched.spawn("late", iter([Sleep(5000), 1]), 0)
+        sched.spawn("early", iter([Sleep(100), 1]), 0)
+        sched.run()
+        assert ["early", "late"] in batches
+
+
+class TestStwCreditReset:
+    """Regression: a thread's preemption credit must not leak across a
+    stop-the-world — the requester would otherwise be preempted right
+    after resume for cycles it spent *before* the pause."""
+
+    def test_credit_resets_at_stw_boundary(self, machine):
+        sched = machine.scheduler
+        for slot in sched.cores:
+            slot.quantum = 100
+        log = []
+
+        def requester():
+            yield 90  # credit 90 of 100
+            yield StopWorld()
+            yield ResumeWorld()
+            log.append("R-resumed")
+            yield 90  # with a leak this hits 180 -> spurious rotate
+            log.append("R-end")
+            yield 5
+
+        def daemon():
+            log.append("D-ran")
+            yield 5
+
+        sched.spawn("R", requester(), 0, stops_for_stw=False)
+        sched.spawn("D", daemon(), 0, stops_for_stw=False)
+        sched.run()
+        # With the credit reset, R is never preempted mid-sequence.
+        assert log == ["R-resumed", "R-end", "D-ran"]
+
+
+class TestStwBlockedFloor:
+    """Regression: a thread held through a stop-the-world while BLOCKED
+    must not run before the pause's end, even when a later signal()
+    carries a stale (pre-pause) at_time from a lagging core."""
+
+    def test_stale_signal_cannot_run_inside_recorded_pause(self, sched):
+        woke = []
+        ev = Event("stale")
+
+        def waiter():
+            yield Block(ev)
+            woke.append(sched.cores[0].time)
+            yield 1
+
+        def revoker():
+            yield 100
+            yield StopWorld()
+            yield 5000
+            yield ResumeWorld()
+            yield 1
+            sched.signal(ev, at_time=10)  # stale: predates the pause
+            yield 1
+
+        w = sched.spawn("w", waiter(), 0)
+        sched.spawn("rev", revoker(), 1, stops_for_stw=False)
+        sched.run(until=[w])
+        [begin_end] = sched.stw_records
+        assert woke[0] >= begin_end.end
+
+
 class TestQuantumPreemption:
     def test_round_robin_on_shared_core(self, machine):
         sched = machine.scheduler
