@@ -17,7 +17,13 @@ Commands:
   --scenario churn-small`` sweeps schedules, writing a minimized
   replayable artifact per failing seed; ``check replay <artifact>``
   re-runs one recorded interleaving (docs/CHECKING.md);
-- ``list``     the available workloads and strategies.
+- ``serve``    the long-running simulation service: warm workers behind a
+  Unix/TCP socket, request dedup against the result cache, admission
+  control, live health/stats (docs/SERVING.md);
+- ``serve-bench`` the serve load generator (closed/open loop, spawn
+  baseline, overload burst), writing a JSON report;
+- ``list``     the available workloads and strategies (``--json`` for
+  machines).
 """
 
 from __future__ import annotations
@@ -105,6 +111,24 @@ def _workload_names() -> list[str]:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        import json
+
+        from repro.runner.campaign import registered_workloads
+
+        print(json.dumps(
+            {
+                "workloads": _workload_names(),
+                "workload_kinds": list(registered_workloads()),
+                "strategies": [
+                    {"name": kind.value, "provides_safety": kind.provides_safety}
+                    for kind in RevokerKind
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print("workloads:")
     for name in _workload_names():
         print(f"  {name}")
@@ -526,6 +550,33 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service daemon until drained (docs/SERVING.md)."""
+    from repro.serve.server import ServeConfig, SimulationServer
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_bound=args.queue,
+        job_timeout_s=args.job_timeout,
+        drain_timeout_s=args.drain_timeout,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    )
+    return SimulationServer(config).run()
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:  # pragma: no cover
+    # Reached only for a bare ``repro serve-bench`` (main() forwards
+    # anything with arguments straight to the bench parser, because
+    # argparse.REMAINDER refuses to capture leading ``--options``).
+    from repro.serve.bench import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -543,6 +594,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gRPC run duration")
 
     p = sub.add_parser("list", help="available workloads and strategies")
+    p.add_argument("--json", action="store_true",
+                   help="emit the catalog as JSON for machine consumption")
     p.set_defaults(fn=cmd_list)
 
     p = sub.add_parser("run", help="run one workload under one strategy")
@@ -662,13 +715,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress per-seed progress lines")
     p.set_defaults(fn=cmd_check)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived simulation service (docs/SERVING.md)",
+    )
+    p.add_argument("--socket", default=None,
+                   help="listen on this unix socket path")
+    p.add_argument("--host", default=None,
+                   help="listen on this TCP host (with --port)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; printed at startup)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="warm worker processes (default: $REPRO_SERVE_WORKERS or 2)")
+    p.add_argument("--queue", type=int, default=None,
+                   help="admission bound before 'overloaded' rejections "
+                        "(default: $REPRO_SERVE_QUEUE or 64)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="seconds one job may hold a worker "
+                        "(default: $REPRO_SERVE_JOB_TIMEOUT or unlimited)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to finish in-flight work on shutdown")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache root (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/results)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without reading or writing the result cache")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="load-generate against a serve daemon (see serve-bench --help)",
+    )
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments for the load generator "
+                        "(try: serve-bench --help)")
+    p.set_defaults(fn=cmd_serve_bench)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
     try:
+        if argv[:1] == ["serve-bench"]:
+            # Forwarded verbatim: the bench owns its own argparse, and
+            # REMAINDER cannot capture leading --options (bpo-17050).
+            from repro.serve.bench import main as bench_main
+
+            return bench_main(argv[1:])
+        parser = build_parser()
+        args = parser.parse_args(argv)
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -60,6 +60,36 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the
+        power-of-two buckets.
+
+        Interior buckets answer with their arithmetic midpoint — within
+        2x of the true value by construction — and the exact min/max
+        clamp the tails, so ``quantile(0.0)`` and ``quantile(1.0)`` are
+        exact. This is what the serving layer's live p50/p99 latency
+        figures come from.
+        """
+        from repro.errors import StatsError
+
+        if not 0.0 <= q <= 1.0:
+            raise StatsError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            raise StatsError("quantile of an empty histogram")
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        seen = 0
+        for k in sorted(self.buckets):
+            seen += self.buckets[k]
+            if seen > rank:
+                # Bucket k spans [2**(k-1), 2**k); bucket 0 spans [0, 1).
+                midpoint = 0.5 if k == 0 else 1.5 * 2 ** (k - 1)
+                return max(self.min, min(self.max, midpoint))
+        return self.max  # pragma: no cover - guarded by count above
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,

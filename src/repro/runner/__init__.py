@@ -37,6 +37,7 @@ from repro.runner.campaign import (
     WorkloadSpec,
     build_config,
     execute_job,
+    job_from_dict,
     register_workload,
     registered_workloads,
     stable_seed,
@@ -65,6 +66,7 @@ __all__ = [
     "env_echo",
     "execute_job",
     "job_fingerprint",
+    "job_from_dict",
     "register_workload",
     "registered_workloads",
     "run_campaign",

@@ -30,7 +30,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 import repro
 from repro.core.metrics import RunResult
@@ -105,10 +105,21 @@ class ResultCache:
     def _path_of(self, fingerprint: str) -> Path:
         return self.root / "objects" / fingerprint[:2] / f"{fingerprint}.json"
 
-    def get(self, fingerprint: str) -> RunResult | None:
-        """The cached result, or None on miss. Corrupt entries (torn
-        writes from dead processes, stale schema) count as misses and
-        are removed."""
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def get_envelope(self, fingerprint: str) -> dict[str, Any] | None:
+        """The cached serialized envelope, or None on miss.
+
+        The serving layer answers cache hits straight from this — the
+        envelope is already the wire representation, so no
+        decode/re-encode round-trip through :class:`RunResult` is paid.
+        Corrupt entries (torn writes from dead processes, stale schema)
+        count as misses and are removed.
+        """
         path = self._path_of(fingerprint)
         try:
             text = path.read_text()
@@ -116,21 +127,45 @@ class ResultCache:
             return None
         try:
             envelope = json.loads(text)
+            if not isinstance(envelope, dict):
+                raise SerializationError("envelope is not a JSON object")
             if envelope.get("fingerprint") != fingerprint:
                 raise SerializationError("fingerprint mismatch")
-            return result_from_dict(envelope)
+            if envelope.get("format") != FORMAT_VERSION:
+                raise SerializationError("stale format version")
         except (SerializationError, ValueError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard(path)
+            return None
+        return envelope
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        """The cached result, or None on miss (see :meth:`get_envelope`)."""
+        envelope = self.get_envelope(fingerprint)
+        if envelope is None:
+            return None
+        try:
+            return result_from_dict(envelope)
+        except SerializationError:
+            self._discard(self._path_of(fingerprint))
             return None
 
-    def put(self, fingerprint: str, result: RunResult, job: Job | None = None) -> Path:
-        """Atomically persist a result under its fingerprint."""
+    def put_envelope(
+        self,
+        fingerprint: str,
+        envelope: Mapping[str, Any],
+        job: Job | None = None,
+    ) -> Path:
+        """Atomically persist an already-serialized result envelope (what
+        pool and serve workers ship across process boundaries) without a
+        decode/encode round-trip."""
+        if envelope.get("format") != FORMAT_VERSION:
+            raise SerializationError(
+                f"envelope format {envelope.get('format')!r} != "
+                f"supported {FORMAT_VERSION}"
+            )
         path = self._path_of(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
-        envelope: dict[str, Any] = result_to_dict(result)
+        envelope = dict(envelope)
         envelope["fingerprint"] = fingerprint
         if job is not None:
             envelope["job"] = job.to_dict()
@@ -148,6 +183,10 @@ class ResultCache:
                 pass
             raise
         return path
+
+    def put(self, fingerprint: str, result: RunResult, job: Job | None = None) -> Path:
+        """Atomically persist a result under its fingerprint."""
+        return self.put_envelope(fingerprint, result_to_dict(result), job=job)
 
     def __contains__(self, fingerprint: str) -> bool:
         return self._path_of(fingerprint).exists()

@@ -135,6 +135,28 @@ class Job:
         }
 
 
+def job_from_dict(data: Mapping[str, Any], key: Any = None) -> Job:
+    """Inverse of :meth:`Job.to_dict` — the representation jobs travel in
+    over the serve wire protocol and inside cache envelopes."""
+    if not isinstance(data, Mapping):
+        raise ConfigError(f"job must be an object, got {type(data).__name__}")
+    unknown = set(data) - {"workload", "revoker", "config"}
+    if unknown:
+        raise ConfigError(f"job: unknown fields {sorted(unknown)}")
+    try:
+        workload = data["workload"]
+        spec = WorkloadSpec(str(workload["kind"]), dict(workload.get("params", {})))
+        revoker = RevokerKind(data["revoker"])
+    except KeyError as exc:
+        raise ConfigError(f"job missing field: {exc}") from exc
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise ConfigError(f"bad job: {exc}") from exc
+    config = data.get("config", {})
+    if not isinstance(config, Mapping):
+        raise ConfigError("job: config must be an object")
+    return Job(workload=spec, revoker=revoker, config=dict(config), key=key)
+
+
 def build_config(job: Job) -> SimulationConfig:
     """Materialize a job's :class:`SimulationConfig` from its overrides."""
     from repro.alloc.quarantine import QuarantinePolicy

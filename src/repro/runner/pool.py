@@ -22,7 +22,16 @@ Fault policy:
   worker's traceback;
 - if worker processes cannot be started at all (no ``fork``/``spawn``,
   sandboxed CI, ``REPRO_JOBS=1``), execution falls back to the plain
-  in-process loop, which has no extra failure modes.
+  in-process loop, which has no extra failure modes;
+- a :class:`KeyboardInterrupt` (or any other fatal error) terminates and
+  joins every live worker before re-raising — an interrupted campaign
+  leaves no orphaned children behind.
+
+Jobs with identical fingerprints within one :func:`run_jobs` call are
+**deduplicated**: the first occurrence executes, the rest receive a
+serialized copy of its result (the serving layer leans on the same
+collapse for in-flight requests; campaigns with repeated conditions get
+it for free).
 
 Environment knobs: ``REPRO_JOBS`` (worker count; ``0`` = CPU count;
 default ``1`` = in-process) and ``REPRO_JOB_TIMEOUT`` (seconds per job;
@@ -135,22 +144,36 @@ def run_jobs(
     results: list[RunResult | None] = [None] * len(jobs)
     fingerprints: list[str | None] = [None] * len(jobs)
     pending: list[int] = []
+    # Jobs with identical fingerprints run once: the first occurrence is
+    # the leader, the rest receive a serialized copy of its result.
+    leaders: dict[str, int] = {}
+    followers: dict[int, list[int]] = {}
 
     for i, job in enumerate(jobs):
+        fingerprints[i] = job_fingerprint(job)
         if cache is not None:
-            fingerprints[i] = job_fingerprint(job)
             hit = cache.get(fingerprints[i])
             if hit is not None:
                 results[i] = hit
                 progress.job_finished(job.describe(), cached=True, elapsed=0.0)
                 continue
-        pending.append(i)
+        leader = leaders.get(fingerprints[i])
+        if leader is None:
+            leaders[fingerprints[i]] = i
+            pending.append(i)
+        else:
+            followers.setdefault(leader, []).append(i)
 
     def finish_fresh(i: int, result: RunResult, elapsed: float) -> None:
         results[i] = result
         if cache is not None and fingerprints[i] is not None:
             cache.put(fingerprints[i], result, job=jobs[i])
         progress.job_finished(jobs[i].describe(), cached=False, elapsed=elapsed)
+        for dup in followers.get(i, ()):
+            # The round-trip hands each duplicate its own equal object,
+            # exactly as if it had crossed a worker pipe itself.
+            results[dup] = result_from_dict(result_to_dict(result))
+            progress.job_deduped(jobs[dup].describe())
 
     if pending and max_workers > 1:
         pending = _run_pooled(
@@ -214,10 +237,25 @@ def _run_pooled(
             entry.process.join()
 
     def abort_all() -> None:
-        for entry in running.values():
-            entry.process.terminate()
-            reap(entry)
-        running.clear()
+        # Two-phase teardown so an interrupt (^C) cannot orphan workers:
+        # signal every live process *first*, then join — a second
+        # KeyboardInterrupt landing mid-join still finds everyone already
+        # terminating, and the finally sweep kills any straggler.
+        try:
+            for entry in running.values():
+                try:
+                    entry.process.terminate()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            for entry in running.values():
+                entry.conn.close()
+                entry.process.join(timeout=5)
+        finally:
+            for entry in running.values():
+                if entry.process.is_alive():
+                    entry.process.kill()
+                    entry.process.join(timeout=5)
+            running.clear()
 
     def crash_or_retry(entry: _Running, reason: str) -> None:
         del running[entry.index]

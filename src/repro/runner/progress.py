@@ -53,6 +53,7 @@ class CampaignProgress:
         self.done = 0
         self.cache_hits = 0
         self.fresh = 0
+        self.deduped = 0
         self.retries = 0
         self.failures = 0
         self._fresh_seconds = 0.0
@@ -74,6 +75,14 @@ class CampaignProgress:
             self.echo(
                 f"[{self.done}/{self.total}] {label} ({origin}){eta_text}"
             )
+
+    def job_deduped(self, label: str) -> None:
+        """A job that never ran: its fingerprint matched another job in
+        the same batch, so it received a copy of that job's result."""
+        self.done += 1
+        self.deduped += 1
+        if self.echo is not None:
+            self.echo(f"[{self.done}/{self.total}] {label} (dedup)")
 
     def job_retried(self, label: str, reason: str) -> None:
         self.retries += 1
@@ -124,10 +133,10 @@ class CampaignProgress:
         mean = self.mean_fresh_seconds()
         if mean is not None:
             parts.append(f"mean {mean:.2f}s/fresh job")
-        return (
-            ", ".join(parts)
-            + f" | cache-hits={self.cache_hits} fresh={self.fresh}"
-        )
+        tail = f" | cache-hits={self.cache_hits} fresh={self.fresh}"
+        if self.deduped:
+            tail += f" deduped={self.deduped}"
+        return ", ".join(parts) + tail
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -135,6 +144,7 @@ class CampaignProgress:
             "done": self.done,
             "cache_hits": self.cache_hits,
             "fresh": self.fresh,
+            "deduped": self.deduped,
             "retries": self.retries,
             "failures": self.failures,
             "elapsed_seconds": self.elapsed_seconds(),

@@ -1,0 +1,124 @@
+"""The serve wire protocol: newline-delimited JSON over a stream socket.
+
+One request per line, one response per line, strictly in order per
+connection (open several connections to pipeline — the blocking client
+and the load generator both do). Every request is a JSON object with a
+``verb`` and an optional caller-chosen ``id`` that is echoed back
+verbatim, so a client can match responses without trusting ordering.
+
+Verbs:
+
+- ``ping``     liveness probe; answers immediately from the event loop;
+- ``run``      execute one simulation job (``{"job": {workload, revoker,
+  config}, "deadline_s": <float?>}``); the response carries the
+  serialized result envelope (decode with
+  :func:`repro.runner.serialize.result_from_dict`) plus ``cached`` /
+  ``deduped`` origin flags and the service time;
+- ``health``   readiness: status (``ok``/``draining``), live worker
+  count, queue depth, in-flight count, uptime;
+- ``stats``    the full metrics registry dump plus derived figures
+  (cache hit rate, p50/p99 service latency);
+- ``list``     the workload/strategy catalog, for client discovery;
+- ``shutdown`` begin a graceful drain (same as SIGTERM).
+
+Responses are ``{"id":..., "ok": true, ...}`` or ``{"id":..., "ok":
+false, "error": {"code":..., "message":...}}``. Error codes are the
+``E_*`` constants below; ``overloaded`` responses carry a
+``retry_after_s`` hint. Requests longer than the server's line limit are
+answered with ``oversized`` and the connection is closed (the frame
+boundary is lost); every other error leaves the connection usable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+#: Bumped when a request or response field changes meaning.
+PROTOCOL_VERSION = 1
+
+#: Default cap on one request line (the daemon's knob can override).
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+KNOWN_VERBS = ("ping", "run", "health", "stats", "list", "shutdown")
+
+# Error codes.
+E_BAD_REQUEST = "bad-request"        # malformed JSON / missing fields
+E_OVERSIZED = "oversized"            # request line over the limit
+E_UNKNOWN_VERB = "unknown-verb"
+E_INVALID_JOB = "invalid-job"        # job failed declarative validation
+E_OVERLOADED = "overloaded"          # admission queue full; retry later
+E_DEADLINE = "deadline"              # per-request deadline expired
+E_JOB_FAILED = "job-failed"          # worker raised / crashed twice
+E_SHUTTING_DOWN = "shutting-down"    # daemon is draining
+E_INTERNAL = "internal"              # unexpected server-side error
+
+
+class ProtocolError(ReproError):
+    """A wire message could not be parsed as a protocol request."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request line."""
+
+    verb: str
+    id: Any = None
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """One wire frame: compact JSON plus the terminating newline."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def decode(line: bytes | str) -> dict[str, Any]:
+    """Parse one frame into a dict, or raise :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from exc
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def parse_request(line: bytes | str) -> Request:
+    """Decode and structurally validate one request line.
+
+    Verb *existence* is checked here; whether the verb is known is the
+    server's call (so the error can carry the catalog).
+    """
+    message = decode(line)
+    verb = message.get("verb")
+    if not isinstance(verb, str) or not verb:
+        raise ProtocolError("request needs a non-empty string 'verb'")
+    payload = {k: v for k, v in message.items() if k not in ("verb", "id")}
+    return Request(verb=verb, id=message.get("id"), payload=payload)
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(
+    request_id: Any, code: str, message: str, **fields: Any
+) -> dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+        **fields,
+    }

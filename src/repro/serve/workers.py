@@ -1,0 +1,203 @@
+"""Warm persistent simulation workers for the serving daemon.
+
+Unlike :mod:`repro.runner.pool` — which runs one process per job so that
+timeouts and crash detection stay trivial — the serving daemon keeps a
+fixed pool of **long-lived** workers: each forks once at daemon startup
+(inheriting the fully imported simulator, so nothing is re-imported per
+request) and then loops ``recv job -> execute -> send envelope`` until
+it is told to drain. A request on a warm worker costs only the pipe
+round-trip and the simulation itself; the ~1s interpreter/numpy start-up
+that dominates ``python -m repro run`` is paid once per worker lifetime.
+
+Results cross the pipe as serialized envelopes
+(:func:`repro.runner.serialize.result_to_dict`), the same representation
+the result cache stores, so the daemon can persist and answer from them
+without re-encoding.
+
+Supervision is the daemon's job (:mod:`repro.serve.server`): a worker
+that crashes or overruns a deadline is killed and respawned there, and
+:func:`conn_recv` is the bridge that lets the asyncio event loop await a
+worker pipe without blocking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import traceback
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.runner.campaign import execute_job, job_from_dict
+from repro.runner.serialize import result_to_dict
+
+#: Message sent to a worker to make it exit its loop cleanly.
+_DRAIN = None
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker-process body: loop over jobs until drained or orphaned."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # daemon died or closed us: exit
+            break
+        if message is _DRAIN:
+            break
+        seq, job_data = message
+        try:
+            envelope = result_to_dict(execute_job(job_from_dict(job_data)))
+            conn.send((seq, "ok", envelope))
+        except BaseException as exc:  # report everything before dying
+            try:
+                conn.send(
+                    (seq, "err", type(exc).__name__, str(exc), traceback.format_exc())
+                )
+            except (OSError, ValueError):
+                break
+            if not isinstance(exc, Exception):  # KeyboardInterrupt etc.
+                break
+    conn.close()
+
+
+def _mp_context():
+    """Fork keeps workers warm (they inherit every imported module and
+    runtime-registered workload kind); fall back where unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class Worker:
+    """One supervised worker process plus its duplex pipe."""
+
+    def __init__(self, wid: int) -> None:
+        self.id = wid
+        self.ctx = _mp_context()
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.conn: Connection | None = None
+        self.jobs_done = 0
+        self.restarts = -1  # first spawn() brings this to 0
+        self.spawn()
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            daemon=True,
+            name=f"repro-serve-worker-{self.id}",
+        )
+        process.start()
+        child_conn.close()
+        self.process = process
+        self.conn = parent_conn
+        self.restarts += 1
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def submit(self, seq: int, job_data: dict[str, Any]) -> None:
+        """Ship one job down the pipe (raises OSError if the worker is
+        gone — the supervisor treats that as a crash)."""
+        assert self.conn is not None
+        self.conn.send((seq, job_data))
+
+    def kill(self) -> None:
+        """Hard-stop the worker (timeout/crash recovery path)."""
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self.conn = None
+        if self.process is not None:
+            self.process.kill()
+            self.process.join(timeout=5)
+            self.process = None
+
+    def respawn(self) -> None:
+        self.kill()
+        self.spawn()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful stop: send the drain sentinel, join, then escalate."""
+        if self.conn is not None:
+            try:
+                self.conn.send(_DRAIN)
+            except (OSError, ValueError):
+                pass
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self.conn = None
+        if self.process is not None:
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.kill()
+                self.process.join(timeout=5)
+            self.process = None
+
+
+class WorkerPool:
+    """A fixed-size set of warm workers."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"serve needs at least 1 worker, got {size}")
+        self.workers = [Worker(i) for i in range(size)]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for w in self.workers if w.alive)
+
+    @property
+    def restarts(self) -> int:
+        return sum(w.restarts for w in self.workers)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        # Two-phase like the campaign pool's abort: signal everyone
+        # first so drains overlap, then join.
+        for worker in self.workers:
+            if worker.conn is not None:
+                try:
+                    worker.conn.send(_DRAIN)
+                except (OSError, ValueError):
+                    pass
+        for worker in self.workers:
+            worker.stop(timeout=timeout)
+
+
+async def conn_recv(conn: Connection) -> Any:
+    """Await one message from a worker pipe without blocking the loop.
+
+    Registers the pipe fd with the running event loop and resolves on
+    the first readable edge; a dead worker surfaces as ``EOFError``
+    exactly like a blocking ``recv`` would.
+    """
+    loop = asyncio.get_running_loop()
+    future: asyncio.Future[Any] = loop.create_future()
+    fd = conn.fileno()
+
+    def _ready() -> None:
+        loop.remove_reader(fd)
+        if future.done():  # pragma: no cover - cancelled racing readable
+            return
+        try:
+            future.set_result(conn.recv())
+        except BaseException as exc:  # EOFError when the worker died
+            future.set_exception(exc)
+
+    loop.add_reader(fd, _ready)
+    try:
+        return await future
+    finally:
+        loop.remove_reader(fd)

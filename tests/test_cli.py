@@ -35,6 +35,18 @@ class TestCommands:
         assert "reloaded" in out
         assert "pgbench" in out
 
+    def test_list_json_round_trips(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert "pgbench" in catalog["workloads"]
+        assert "gobmk.13x13" in catalog["workloads"]
+        assert "spec" in catalog["workload_kinds"]
+        by_name = {s["name"]: s["provides_safety"] for s in catalog["strategies"]}
+        assert by_name["reloaded"] is True
+        assert by_name["none"] is False
+
     def test_run_small(self, capsys):
         assert main(["run", "gobmk.13x13", "reloaded", "--scale", "1024"]) == 0
         out = capsys.readouterr().out

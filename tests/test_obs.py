@@ -152,6 +152,44 @@ def test_histogram_buckets_are_powers_of_two():
     assert d["mean"] == pytest.approx(1010 / 6)
 
 
+def test_histogram_quantile_tails_are_exact():
+    h = Histogram()
+    for v in (3, 17, 100, 900):
+        h.observe(v)
+    assert h.quantile(0.0) == 3  # clamped to exact min
+    assert h.quantile(1.0) == 900  # clamped to exact max
+
+
+def test_histogram_quantile_within_bucket_factor():
+    h = Histogram()
+    values = [10, 20, 40, 80, 160, 320, 640]
+    for v in values:
+        h.observe(v)
+    median = values[len(values) // 2]
+    estimate = h.quantile(0.5)
+    # Power-of-two buckets promise the midpoint is within 2x.
+    assert median / 2 <= estimate <= median * 2
+
+
+def test_histogram_quantile_single_value_is_exact():
+    h = Histogram()
+    h.observe(42)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 42  # min/max clamp collapses the bucket
+
+
+def test_histogram_quantile_rejects_bad_input():
+    from repro.errors import StatsError
+
+    with pytest.raises(StatsError, match="empty"):
+        Histogram().quantile(0.5)
+    h = Histogram()
+    h.observe(1)
+    for q in (-0.1, 1.1):
+        with pytest.raises(StatsError, match="quantile"):
+            h.quantile(q)
+
+
 def test_histogram_rejects_negative():
     with pytest.raises(ValueError):
         Histogram().observe(-1)

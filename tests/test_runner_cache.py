@@ -121,6 +121,49 @@ class TestResultCache:
         assert cache.root == tmp_path / "envcache"
 
 
+class TestEnvelopeAccess:
+    """The serving layer reads/writes raw serialized envelopes so cache
+    hits skip the decode/re-encode round-trip."""
+
+    def test_envelope_roundtrip_preserves_serialization(self, tmp_path):
+        from repro.runner.serialize import result_from_dict, result_to_dict
+
+        cache = ResultCache(tmp_path)
+        fp = job_fingerprint(_job())
+        cache.put(fp, _result(), job=_job())
+        envelope = cache.get_envelope(fp)
+        assert envelope is not None
+        assert envelope["fingerprint"] == fp
+        decoded = result_from_dict(envelope)
+        assert result_to_dict(decoded) == result_to_dict(_result())
+
+    def test_put_envelope_then_get(self, tmp_path):
+        from repro.runner.serialize import result_to_dict
+
+        cache = ResultCache(tmp_path)
+        fp = job_fingerprint(_job())
+        cache.put_envelope(fp, result_to_dict(_result(wall=77)))
+        hit = cache.get(fp)
+        assert hit is not None
+        assert hit.wall_cycles == 77
+
+    def test_put_envelope_rejects_wrong_format(self, tmp_path):
+        from repro.runner.serialize import SerializationError
+
+        cache = ResultCache(tmp_path)
+        with pytest.raises(SerializationError, match="format"):
+            cache.put_envelope("f" * 64, {"format": 999})
+
+    def test_get_envelope_discards_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = job_fingerprint(_job())
+        path = cache._path_of(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"format": 999, "fingerprint": fp}))
+        assert cache.get_envelope(fp) is None
+        assert not path.exists()  # poisoned entry removed
+
+
 class TestEndToEndInvalidation:
     """Changing any knob re-simulates exactly the affected jobs."""
 

@@ -178,6 +178,95 @@ class TestFaultTolerance:
         assert progress.retries == 0
 
 
+class TestInterruptCleanup:
+    def test_keyboard_interrupt_reaps_workers(self, scratch_kind, monkeypatch):
+        """^C mid-campaign must terminate every live worker before the
+        interrupt propagates — no orphans grinding on for 60 more
+        seconds (the satellite regression)."""
+        import multiprocessing
+
+        from repro.runner import pool
+
+        def sleepy():
+            time.sleep(60)
+            return _TinyWorkload()  # pragma: no cover
+
+        kind = scratch_kind(sleepy)
+        real_wait = pool.connection_wait
+
+        def interrupting_wait(conns, timeout=None):
+            # Let the workers actually start their jobs, then interrupt
+            # the coordinator exactly where it spends its life waiting.
+            real_wait(conns, timeout=0.3)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(pool, "connection_wait", interrupting_wait)
+        began = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs(
+                [
+                    Job(WorkloadSpec(kind), RevokerKind.NONE),
+                    Job(WorkloadSpec(kind), RevokerKind.RELOADED),
+                ],
+                max_workers=2,
+            )
+        deadline = time.monotonic() + 10
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+        assert time.monotonic() - began < 30  # reaped, not waited out
+
+
+class TestDedup:
+    def test_in_process_duplicates_run_once(self, scratch_kind):
+        calls = []
+
+        def counting():
+            calls.append(1)
+            return _TinyWorkload()
+
+        kind = scratch_kind(counting)
+        job_a = Job(WorkloadSpec(kind), RevokerKind.NONE)
+        job_b = Job(WorkloadSpec(kind), RevokerKind.RELOADED)
+        progress = CampaignProgress(3)
+        results = run_jobs([job_a, job_a, job_b], max_workers=1, progress=progress)
+        assert len(calls) == 2  # one per distinct fingerprint
+        assert progress.fresh == 2
+        assert progress.deduped == 1
+        assert dumps_result(results[0]) == dumps_result(results[1])
+        assert results[0] is not results[1]  # own copy, not shared state
+
+    def test_pooled_duplicates_run_once(self, scratch_kind, tmp_path):
+        log = tmp_path / "executions"
+
+        def logging_builder():
+            with open(log, "a") as fh:
+                fh.write("x")
+            return _TinyWorkload()
+
+        kind = scratch_kind(logging_builder)
+        jobs = [Job(WorkloadSpec(kind), RevokerKind.NONE)] * 4
+        progress = CampaignProgress(4)
+        results = run_jobs(jobs, max_workers=2, progress=progress)
+        assert log.read_text() == "x"  # exactly one worker execution
+        assert progress.fresh == 1
+        assert progress.deduped == 3
+        assert len({dumps_result(r) for r in results}) == 1
+
+    def test_duplicates_hit_cache_next_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        progress = CampaignProgress(2)
+        run_jobs([_SPEC_JOB, _SPEC_JOB], cache=cache, max_workers=2,
+                 progress=progress)
+        assert progress.fresh == 1
+        assert progress.deduped == 1
+        progress2 = CampaignProgress(2)
+        run_jobs([_SPEC_JOB, _SPEC_JOB], cache=cache, max_workers=2,
+                 progress=progress2)
+        assert progress2.cache_hits == 2
+        assert progress2.deduped == 0
+
+
 class TestInProcessFallback:
     def test_single_worker_never_forks(self, scratch_kind, monkeypatch):
         """max_workers=1 must not touch multiprocessing at all."""
@@ -212,6 +301,16 @@ class TestProgress:
         assert progress.eta_seconds() is None  # nothing remaining
         summary = progress.summary()
         assert "cache-hits=1 fresh=2" in summary
+
+    def test_summary_mentions_dedup_only_when_present(self):
+        progress = CampaignProgress(2)
+        progress.job_finished("a", cached=False, elapsed=0.1)
+        assert "deduped" not in progress.summary()
+        progress.job_deduped("b")
+        summary = progress.summary()
+        assert "cache-hits=0 fresh=1" in summary  # CI greps this shape
+        assert "deduped=1" in summary
+        assert progress.as_dict()["deduped"] == 1
 
     def test_eta_uses_fresh_jobs_only(self):
         progress = CampaignProgress(4)
