@@ -298,6 +298,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         # Workers inherit this through the pool's fork, so every fresh job
         # records a per-job trace artifact (see runner.campaign.execute_job).
         os.environ["REPRO_TRACE_DIR"] = args.trace_dir
+    if args.snapshot_dir:
+        # Same inheritance: snapshot-capable jobs checkpoint at epoch
+        # closes and resume after worker crashes/timeouts (docs/SNAPSHOT.md).
+        os.environ["REPRO_SNAPSHOT_DIR"] = args.snapshot_dir
 
     if args.dry_run:
         for job in jobs:
@@ -564,8 +568,101 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
+        snapshot_dir=args.snapshot_dir,
     )
     return SimulationServer(config).run()
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Checkpoint tools: ``save`` (run with checkpointing, keep one),
+    ``resume`` (continue a checkpoint to completion), ``inspect``
+    (print a checkpoint's provenance header). docs/SNAPSHOT.md."""
+    import json
+    from pathlib import Path
+
+    from repro.runner.serialize import dumps_result
+    from repro.snapshot import read_header, restore_simulation
+
+    def write_result(result, path: str | None) -> None:
+        if path:
+            Path(path).write_text(dumps_result(result) + "\n")
+
+    if args.snapshot_cmd == "inspect":
+        try:
+            data = Path(args.path).read_bytes()
+        except OSError as exc:
+            raise ReproError(f"cannot read checkpoint: {exc}") from exc
+        print(json.dumps(read_header(data), indent=2, sort_keys=True))
+        return 0
+
+    if args.snapshot_cmd == "resume":
+        try:
+            data = Path(args.path).read_bytes()
+        except OSError as exc:
+            raise ReproError(f"cannot read checkpoint: {exc}") from exc
+        sim, header = restore_simulation(data)
+        result = sim.resume()
+        write_result(result, args.result)
+        print(
+            f"resumed {header['workload']}/{header['revoker']} from epoch "
+            f"{header['epoch']} (capture #{header['sequence']}): "
+            f"wall {result.wall_cycles} cycles, "
+            f"{result.revocations} revocations"
+        )
+        return 0
+
+    # save
+    from repro.core.config import SimulationConfig
+    from repro.core.simulation import Simulation
+    from repro.errors import ConfigError
+    from repro.snapshot import SnapshotPlan, SnapshotSession
+
+    _check_workload_name(args.workload)
+    if args.workload in ("pgbench", "grpc"):
+        raise ConfigError(
+            f"{args.workload} does not support snapshots (external-protocol "
+            "workload); use a spec churn workload"
+        )
+    if "." in args.workload:
+        bench, inp = args.workload.split(".", 1)
+        workload = spec.workload(bench, inp, scale=args.scale, seed=args.seed)
+    else:
+        workload = spec.workload(args.workload, scale=args.scale, seed=args.seed)
+
+    cfg = SimulationConfig(revoker=args.revoker)
+    if args.memory_mib is not None:
+        cfg.machine.memory_bytes = args.memory_mib << 20
+    every_checks = args.every_checks
+    if args.revoker is RevokerKind.NONE and every_checks is None:
+        every_checks = 64
+    sim = Simulation(workload, cfg)
+    session = SnapshotSession(
+        sim,
+        SnapshotPlan(every_epochs=args.every_epochs, every_checks=every_checks),
+    )
+    result = sim.run(snapshots=session)
+    write_result(result, args.result)
+    if not session.captured:
+        print(
+            f"no checkpoints captured (run completed before the cadence "
+            f"fired; {result.revocations} revocations) — nothing written",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        blob = session.captured[args.capture_index]
+        header = session.headers[args.capture_index]
+    except IndexError:
+        raise ReproError(
+            f"--capture-index {args.capture_index} out of range "
+            f"({len(session.captured)} captures)"
+        ) from None
+    Path(args.out).write_bytes(blob)
+    print(
+        f"{len(session.captured)} captures; wrote #{header['sequence']} "
+        f"(epoch {header['epoch']}, {len(blob)} bytes) to {args.out}"
+    )
+    return 0
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:  # pragma: no cover
@@ -643,6 +740,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a per-job observability trace JSONL into this "
                         "directory (cache hits skip execution: combine with "
                         "--no-cache for full coverage)")
+    p.add_argument("--snapshot-dir", default=None,
+                   help="checkpoint snapshot-capable jobs into this directory "
+                        "at every epoch close; killed/timed-out jobs resume "
+                        "from their last checkpoint on retry (docs/SNAPSHOT.md)")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("trace", help="allocation + observability trace tools")
@@ -740,7 +841,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "~/.cache/repro/results)")
     p.add_argument("--no-cache", action="store_true",
                    help="serve without reading or writing the result cache")
+    p.add_argument("--snapshot-dir", default=None,
+                   help="checkpoint snapshot-capable jobs into this directory "
+                        "(retried requests resume from the last checkpoint; "
+                        "default: $REPRO_SNAPSHOT_DIR)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="save/resume/inspect simulation checkpoints (docs/SNAPSHOT.md)",
+    )
+    ssub = p.add_subparsers(dest="snapshot_cmd", required=True)
+    pss = ssub.add_parser(
+        "save",
+        help="run a workload with checkpointing on and save one checkpoint",
+    )
+    pss.add_argument("workload", help="a spec churn workload, e.g. hmmer.retro")
+    pss.add_argument("revoker", nargs="?", default="reloaded", type=_kind)
+    pss.add_argument("--scale", type=int, default=512,
+                     help="workload scale divisor (default: 512)")
+    pss.add_argument("--seed", type=int, default=1)
+    pss.add_argument("--memory-mib", type=int, default=None,
+                     help="shrink simulated physical memory to this many MiB "
+                          "(smaller checkpoints)")
+    pss.add_argument("--every-epochs", type=int, default=1,
+                     help="capture cadence in completed epochs (default: 1)")
+    pss.add_argument("--every-checks", type=int, default=None,
+                     help="capture cadence in work-unit polls; required for "
+                          "the none revoker (default there: 64)")
+    pss.add_argument("--capture-index", type=int, default=0,
+                     help="which capture to write (default: first; -1: last)")
+    pss.add_argument("--out", default="checkpoint.ckpt",
+                     help="checkpoint output path (default: checkpoint.ckpt)")
+    pss.add_argument("--result", default=None,
+                     help="also write the straight-through RunResult JSON here")
+    psr = ssub.add_parser("resume", help="continue a checkpoint to completion")
+    psr.add_argument("path")
+    psr.add_argument("--result", default=None,
+                     help="write the resumed RunResult JSON here (bit-identical "
+                          "to the straight-through run's)")
+    psi = ssub.add_parser("inspect", help="print a checkpoint's header")
+    psi.add_argument("path")
+    p.set_defaults(fn=cmd_snapshot)
 
     p = sub.add_parser(
         "serve-bench",

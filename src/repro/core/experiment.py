@@ -41,13 +41,18 @@ def run_experiment(
     workload: Workload | WorkloadFactory,
     kind: RevokerKind,
     config: SimulationConfig | None = None,
+    snapshots=None,
 ) -> RunResult:
-    """Run one workload under one strategy and return its metrics."""
+    """Run one workload under one strategy and return its metrics.
+
+    ``snapshots`` (a :class:`~repro.snapshot.SnapshotPlan` or session)
+    enables epoch-boundary checkpointing; see docs/SNAPSHOT.md.
+    """
     if callable(workload) and not isinstance(workload, Workload):
         workload = workload()
     cfg = config if config is not None else SimulationConfig()
     cfg.revoker = kind
-    return Simulation(workload, cfg).run()
+    return Simulation(workload, cfg).run(snapshots=snapshots)
 
 
 def compare_strategies(

@@ -31,7 +31,7 @@ from repro.kernel.revoker import (
 )
 from repro.machine.capability import Capability
 from repro.machine.machine import Machine
-from repro.machine.scheduler import Sleep, Thread
+from repro.machine.scheduler import Sleep, Thread, ThreadState
 from repro.machine.trap import LoadGenerationFault
 from repro.obs.tracer import TRACER
 from repro.workloads.base import Workload
@@ -53,6 +53,10 @@ class AppContext:
         self.core = sim.machine.cores[core_index]
         self.slot = sim.machine.scheduler.cores[core_index]
         self.registers = RegisterFile()
+        #: The run's SnapshotSession when checkpointing is on, else None.
+        #: Workloads that support snapshots poll ``snapshot.due()`` at
+        #: their work-unit boundary and park on ``snapshot.barrier``.
+        self.snapshot = None
         sim.kernel.register_thread(self.registers)
 
     # --- Allocation ------------------------------------------------------------
@@ -182,6 +186,14 @@ class Simulation:
             self.mrs = MrsShim(self.alloc, self.kernel, policy)
             self.shim = self.mrs
         self._ran = False
+        # Snapshot plumbing. Contexts/threads are remembered so a restore
+        # can pair fresh generators with their pickled Thread shells.
+        self._snapshots = None
+        self._contexts: list[AppContext] = []
+        self._app_threads: list[Thread] = []
+        self._controller_thread: Thread | None = None
+        self._restored = False
+        self._resumed = False
 
     # --- Thread placement ----------------------------------------------------------
 
@@ -198,40 +210,168 @@ class Simulation:
 
     # --- Run ---------------------------------------------------------------------------
 
-    def run(self) -> RunResult:
+    def run(self, snapshots=None) -> RunResult:
+        """Run to completion. ``snapshots`` (a
+        :class:`~repro.snapshot.SnapshotSession`, or a
+        :class:`~repro.snapshot.SnapshotPlan` to build one from) enables
+        checkpoint capture at epoch-close boundaries; see docs/SNAPSHOT.md.
+        """
         if self._ran:
             raise SimulationError("a Simulation can only run once")
         self._ran = True
         sched = self.machine.scheduler
+        if snapshots is not None:
+            self._snapshots = self._build_session(snapshots)
         if TRACER.enabled and TRACER.clock is None:
             # Hooks that have no per-core clock (quarantine, epoch ticks)
             # stamp events with the scheduler's wall clock.
             TRACER.clock = sched.current_time
 
-        app_threads: list[Thread] = []
         for i, (name, body) in enumerate(self.workload.thread_bodies()):
             core_index = self._app_core_for(i)
             ctx = AppContext(self, name, core_index)
+            ctx.snapshot = self._snapshots
             thread = sched.spawn(name, body(ctx), core_index, stops_for_stw=True)
-            app_threads.append(thread)
+            self._contexts.append(ctx)
+            self._app_threads.append(thread)
 
-        controller_thread: Thread | None = None
         if self.mrs is not None:
             rc = self.config.revoker_core
-            controller_thread = sched.spawn(
+            self._controller_thread = sched.spawn(
                 "mrs-controller",
                 self.mrs.controller(self.machine.cores[rc], sched.cores[rc]),
                 rc,
                 stops_for_stw=False,
             )
+        return self._finish()
 
-        wall = sched.run(until=app_threads)
+    def resume(self) -> RunResult:
+        """Continue a simulation restored by
+        :func:`repro.snapshot.restore_simulation` to completion. The
+        resulting :class:`RunResult` is bit-identical to what the
+        straight-through run returns (the determinism contract)."""
+        from repro.errors import SnapshotError
+
+        if not self._restored:
+            raise SnapshotError(
+                "resume() is only valid on a simulation restored from a "
+                "checkpoint; use run() for a fresh simulation"
+            )
+        if self._resumed:
+            raise SimulationError("a restored Simulation can only resume once")
+        self._resumed = True
+        # Release the app threads parked at the snapshot barrier, exactly
+        # as the straight-through run does after capturing (at_time=0 is a
+        # no-op on every wake floor, so both paths continue identically).
+        self.machine.scheduler.signal(self._snapshots.barrier, at_time=0)
+        return self._finish()
+
+    def _finish(self) -> RunResult:
+        """Drive the scheduler to application completion (capturing at
+        quiescent points when snapshots are on), drain any in-flight
+        epoch, and collect the result. Common tail of run() and resume()."""
+        sched = self.machine.scheduler
+        if self._snapshots is None:
+            wall = sched.run(until=self._app_threads)
+        else:
+            wall = self._drive_snapshots()
         if self.mrs is not None and self.kernel.epoch.revoking:
             # The application exited mid-epoch; drain the revocation so
             # phase records and the epoch counter are complete. Wall time
             # stays at application completion (the paper's metric).
             sched.run_until_condition(lambda: not self.kernel.epoch.revoking)
-        return self._collect(wall, app_threads, controller_thread)
+        return self._collect(wall, self._app_threads, self._controller_thread)
+
+    # --- Snapshots ---------------------------------------------------------------------
+
+    def _build_session(self, snapshots):
+        from repro.errors import SnapshotError
+        from repro.snapshot.session import SnapshotPlan, SnapshotSession
+
+        if isinstance(snapshots, SnapshotPlan):
+            session = SnapshotSession(self, snapshots)
+        elif isinstance(snapshots, SnapshotSession):
+            session = snapshots
+            if session.sim is not self:
+                raise SnapshotError("SnapshotSession belongs to another simulation")
+        else:
+            raise SnapshotError(
+                f"snapshots must be a SnapshotPlan or SnapshotSession, "
+                f"got {type(snapshots).__name__}"
+            )
+        if not getattr(self.workload, "supports_snapshot", False):
+            raise SnapshotError(
+                f"workload {self.workload.name!r} does not support snapshots "
+                f"(it keeps state in generator frames or speaks to external "
+                f"processes); see Workload.supports_snapshot"
+            )
+        sched = self.machine.scheduler
+        hooks = [sched.policy, sched.probe, sched.on_stw, self.kernel.epoch.on_transition]
+        if self.mrs is not None:
+            hooks += [self.mrs.quarantine.on_seal, self.mrs.quarantine.on_release]
+        if any(h is not None for h in hooks):
+            raise SnapshotError(
+                "cannot snapshot with check-layer hooks installed (schedule "
+                "policies, probes, and oracle callbacks are process objects "
+                "a checkpoint cannot carry)"
+            )
+        return session
+
+    def _snapshot_ready(self) -> bool:
+        """Quiescent for capture: every app thread finished or parked at
+        the snapshot barrier (at least one parked), and the mrs controller
+        idle between epochs — blocked in ``revoke_requested.waiters``,
+        which also proves no trigger is pending, so a fresh controller
+        generator re-blocks identically after restore."""
+        barrier = self._snapshots.barrier
+        parked = 0
+        for thread in self._app_threads:
+            if thread.state is ThreadState.FINISHED:
+                continue
+            if thread.state is ThreadState.BLOCKED and thread in barrier.waiters:
+                parked += 1
+            else:
+                return False
+        if not parked:
+            return False
+        controller = self._controller_thread
+        if controller is not None:
+            if controller.state is not ThreadState.BLOCKED:
+                return False
+            if controller not in self.mrs.revoke_requested.waiters:
+                return False
+        return True
+
+    def _capture_and_release(self) -> None:
+        from repro.snapshot.capture import capture_simulation
+
+        session = self._snapshots
+        # Advance the cadence BEFORE pickling: the checkpoint and the
+        # continuing run must agree on when the next capture is due.
+        session.mark_captured()
+        blob, header = capture_simulation(self)
+        session.deliver(blob, header)
+        self.machine.scheduler.signal(session.barrier, at_time=0)
+
+    def _drive_snapshots(self) -> int:
+        """Like ``sched.run(until=app_threads)``, but pause at snapshot
+        quiescence to capture. Wall-clock equivalence: both loops check
+        for completion before each pick and return ``current_time()``."""
+        sched = self.machine.scheduler
+
+        def app_done() -> bool:
+            return all(
+                t.state is ThreadState.FINISHED for t in self._app_threads
+            )
+
+        while True:
+            wall = sched.run_until_condition(
+                lambda: app_done() or self._snapshot_ready(),
+                max_steps=500_000_000,
+            )
+            if app_done():
+                return wall
+            self._capture_and_release()
 
     # --- Metrics -----------------------------------------------------------------------
 

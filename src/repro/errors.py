@@ -49,6 +49,12 @@ class StatsError(ReproError, ValueError):
     """
 
 
+class SnapshotError(ReproError):
+    """A checkpoint could not be taken, parsed, or restored (unsupported
+    workload, corrupt or version-mismatched checkpoint file, restore into
+    an incompatible tracer configuration...)."""
+
+
 class ArchitecturalTrap(ReproError):
     """Base class for traps the simulated CPU delivers to the kernel.
 

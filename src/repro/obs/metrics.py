@@ -13,7 +13,7 @@ and must survive the campaign cache's JSON round-trip bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping
 
 
 class Counter:
@@ -64,11 +64,13 @@ class Histogram:
         """Estimate the ``q``-quantile (``0 <= q <= 1``) from the
         power-of-two buckets.
 
-        Interior buckets answer with their arithmetic midpoint — within
-        2x of the true value by construction — and the exact min/max
-        clamp the tails, so ``quantile(0.0)`` and ``quantile(1.0)`` are
-        exact. This is what the serving layer's live p50/p99 latency
-        figures come from.
+        Within the bucket holding rank ``q * (count - 1)``, the answer is
+        linearly interpolated by rank across the bucket's span, so
+        distinct interior quantiles landing in one bucket still order
+        strictly (p50 < p99 for a tight distribution) and the estimate is
+        deterministic. The exact min/max clamp the tails, so
+        ``quantile(0.0)`` and ``quantile(1.0)`` are exact. This is what
+        the serving layer's live p50/p99 latency figures come from.
         """
         from repro.errors import StatsError
 
@@ -83,23 +85,44 @@ class Histogram:
         rank = q * (self.count - 1)
         seen = 0
         for k in sorted(self.buckets):
-            seen += self.buckets[k]
-            if seen > rank:
+            n = self.buckets[k]
+            if seen + n > rank:
                 # Bucket k spans [2**(k-1), 2**k); bucket 0 spans [0, 1).
-                midpoint = 0.5 if k == 0 else 1.5 * 2 ** (k - 1)
-                return max(self.min, min(self.max, midpoint))
+                lo, hi = (0.0, 1.0) if k == 0 else (
+                    float(2 ** (k - 1)), float(2 ** k)
+                )
+                frac = (rank - seen) / n
+                return max(self.min, min(self.max, lo + (hi - lo) * frac))
+            seen += n
         return self.max  # pragma: no cover - guarded by count above
 
     def to_dict(self) -> dict[str, Any]:
+        # An empty histogram's min/max are +/-inf, which strict JSON
+        # cannot carry; encode them as null (NOT 0.0 — a zero would
+        # corrupt ``min`` on the first post-restore ``observe``).
         return {
             "count": self.count,
             "sum": self.sum,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
             "mean": self.mean,
             # JSON object keys are strings; keep them so round-trips are exact.
             "buckets": {str(k): n for k, n in sorted(self.buckets.items())},
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        """Inverse of :meth:`to_dict`: restore a live instrument from its
+        JSON snapshot (``None`` min/max map back to the empty-state
+        infinities, so a restored empty histogram behaves like a fresh
+        one — ``quantile`` raises, the first ``observe`` sets min/max)."""
+        h = cls()
+        h.count = int(data["count"])
+        h.sum = float(data["sum"])
+        h.min = float("inf") if data["min"] is None else float(data["min"])
+        h.max = float("-inf") if data["max"] is None else float(data["max"])
+        h.buckets = {int(k): int(n) for k, n in data["buckets"].items()}
+        return h
 
 
 class MetricsRegistry:
@@ -134,3 +157,14 @@ class MetricsRegistry:
                 name: h.to_dict() for name, h in sorted(self._histograms.items())
             },
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsRegistry":
+        """Inverse of :meth:`to_dict`; used when resuming a checkpointed
+        run whose instruments must continue from their saved state."""
+        reg = cls()
+        for name, value in data.get("counters", {}).items():
+            reg.counter(name).value = int(value)
+        for name, hist in data.get("histograms", {}).items():
+            reg._histograms[name] = Histogram.from_dict(hist)
+        return reg

@@ -189,11 +189,82 @@ def trace_artifact_dir() -> Path | None:
     return Path(raw) if raw else None
 
 
+def snapshot_artifact_dir() -> Path | None:
+    """Where per-job checkpoint files go (``$REPRO_SNAPSHOT_DIR``), or
+    None when checkpointing is off. Inherited by pool worker and serve
+    worker processes, so a job killed mid-run (crash, timeout, eviction)
+    resumes from its last epoch-close checkpoint on retry instead of
+    recomputing completed epochs."""
+    raw = os.environ.get("REPRO_SNAPSHOT_DIR")
+    return Path(raw) if raw else None
+
+
 def job_trace_slug(job: Job) -> str:
     """A filesystem-safe, collision-free artifact name for one job."""
     human = re.sub(r"[^A-Za-z0-9._-]+", "-", job.describe()).strip("-")
     digest = hashlib.sha256(canonical_json(job.to_dict()).encode()).hexdigest()[:10]
     return f"{human}-{digest}"
+
+
+#: Checkpoint cadence for runner-managed snapshots: every epoch close
+#: under a revoker, every this-many work-unit polls under NONE.
+_SNAPSHOT_EVERY_CHECKS = 256
+
+
+def _run_job(job: Job) -> RunResult:
+    """Run — or, given a matching checkpoint, resume — one job's
+    simulation. The determinism contract (docs/SNAPSHOT.md) makes the two
+    indistinguishable from the result side."""
+    workload = job.workload.build()
+    snap_dir = snapshot_artifact_dir()
+    if snap_dir is None or not getattr(workload, "supports_snapshot", False):
+        return run_experiment(workload, job.revoker, build_config(job))
+
+    from repro.core.simulation import Simulation
+    from repro.errors import SnapshotError
+    from repro.obs.tracer import TRACER
+    from repro.runner.cache import job_fingerprint
+    from repro.snapshot import (
+        SnapshotPlan,
+        SnapshotSession,
+        read_header,
+        restore_simulation,
+    )
+
+    fingerprint = job_fingerprint(job)
+    path = snap_dir / f"{job_trace_slug(job)}.ckpt"
+    tmp = path.with_name(path.name + ".tmp")
+
+    def sink(blob: bytes, header: Mapping[str, Any]) -> None:
+        # Atomic replace: a crash mid-write leaves the previous (valid)
+        # checkpoint; the trailing digest catches anything else.
+        snap_dir.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+
+    if path.exists():
+        data = path.read_bytes()
+        try:
+            header = read_header(data)
+            if (
+                header.get("job_fingerprint") == fingerprint
+                and header.get("traced") == TRACER.enabled
+            ):
+                sim, _ = restore_simulation(data, sink=sink)
+                return sim.resume()
+        except SnapshotError:
+            # Stale, corrupt, or truncated checkpoint: recompute from
+            # scratch rather than resume wrong state.
+            pass
+
+    sim = Simulation(workload, build_config(job))
+    session = SnapshotSession(
+        sim,
+        SnapshotPlan(every_epochs=1, every_checks=_SNAPSHOT_EVERY_CHECKS),
+        sink=sink,
+    )
+    session.header_extra["job_fingerprint"] = fingerprint
+    return sim.run(snapshots=session)
 
 
 def execute_job(job: Job) -> RunResult:
@@ -202,23 +273,24 @@ def execute_job(job: Job) -> RunResult:
 
     With ``REPRO_TRACE_DIR`` set, the run records a structured trace and
     writes it as ``<dir>/<slug>.jsonl`` (cache hits skip execution and so
-    produce no artifact — trace campaigns with ``--no-cache``)."""
+    produce no artifact — trace campaigns with ``--no-cache``). With
+    ``REPRO_SNAPSHOT_DIR`` set, snapshot-capable jobs checkpoint at every
+    epoch close and resume from ``<dir>/<slug>.ckpt`` when one matching
+    the job fingerprint is present."""
     trace_dir = trace_artifact_dir()
     if trace_dir is None:
-        workload = job.workload.build()
-        return run_experiment(workload, job.revoker, build_config(job))
+        return _run_job(job)
 
     from repro.obs.export import write_jsonl
     from repro.obs.tracer import TRACER
 
     TRACER.start()
     try:
-        workload = job.workload.build()
-        result = run_experiment(workload, job.revoker, build_config(job))
+        result = _run_job(job)
         events = TRACER.events()
         meta = {
             "job": job.describe(),
-            "workload": workload.name,
+            "workload": job.workload.build().name,
             "revoker": job.revoker.value,
             "wall_cycles": result.wall_cycles,
             "dropped": TRACER.dropped,

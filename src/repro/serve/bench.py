@@ -184,9 +184,21 @@ def burst(
     return [s for s in samples if s is not None], wall
 
 
-def fresh_jobs(count: int, scale: int, seed_base: int) -> list[dict[str, Any]]:
+def fresh_jobs(
+    count: int, scale: int, seed_base: int | None = None
+) -> list[dict[str, Any]]:
     """``count`` unique-fingerprint jobs (distinct seeds): nothing in the
-    cache, nothing dedupable — every one needs a worker."""
+    cache, nothing dedupable — every one needs a worker.
+
+    ``seed_base`` defaults to a per-invocation random nonce. A fixed
+    default would make the *second* bench run against a live daemon hit
+    the result cache for every "fresh" burst job and report inflated
+    overload throughput; pass an explicit base only when reproducing a
+    specific run (and expect cache hits if the daemon has seen it).
+    """
+    if seed_base is None:
+        # Keep clear of the deterministic seed ranges campaigns use.
+        seed_base = 1_000_000_000 + int.from_bytes(os.urandom(4), "big")
     return [
         {
             "workload": {
@@ -333,8 +345,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="also fire N simultaneous fresh jobs (overload demo)")
     parser.add_argument("--burst-scale", type=int, default=512,
                         help="burst workload scale (smaller = slower jobs)")
-    parser.add_argument("--seed-base", type=int, default=7_000_000,
-                        help="first unique seed for burst jobs")
+    parser.add_argument("--seed-base", type=int, default=None,
+                        help="first seed for burst jobs (default: a per-run "
+                             "nonce, so repeat runs cannot hit the result "
+                             "cache and inflate burst throughput)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless service/spawn speedup reaches this")
     parser.add_argument("--out", type=Path, default=None,
@@ -418,6 +432,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             jobs = fresh_jobs(args.burst, args.burst_scale, args.seed_base)
             burst_samples, burst_wall = burst(make_client, jobs, args.timeout)
             burst_report = summarize(burst_samples, burst_wall)
+            # Record the seed base actually used (nonce or explicit) so a
+            # run can be reproduced and honest runs are distinguishable.
+            burst_report["seed_base"] = jobs[0]["workload"]["params"]["seed"]
             report["overload"] = burst_report
             print(
                 f"burst: {burst_report['ok']} completed, "

@@ -127,8 +127,16 @@ class ServeConfig:
     cache_dir: str | Path | None = None
     no_cache: bool = False
     max_line_bytes: int = DEFAULT_MAX_LINE_BYTES
+    #: Directory for per-job checkpoints (``$REPRO_SNAPSHOT_DIR`` when
+    #: unset). Snapshot-capable jobs then checkpoint at epoch closes, so
+    #: a request retried after a worker crash or timeout resumes from the
+    #: dead worker's last checkpoint, and repeated fresh executions of a
+    #: fingerprint warm-start from the previous run's final checkpoint.
+    snapshot_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
+        if self.snapshot_dir is None:
+            self.snapshot_dir = os.environ.get("REPRO_SNAPSHOT_DIR") or None
         if self.socket_path and self.host:
             raise ConfigError("serve: give a unix socket path or host/port, not both")
         if not self.socket_path and not self.host:
@@ -215,6 +223,10 @@ class SimulationServer:
         self._shutdown = asyncio.Event()
         self._queue = asyncio.Queue()
         self._started = loop.time()
+        if self.cfg.snapshot_dir is not None:
+            # Must land in the environment before the pool forks so every
+            # worker inherits it (campaign.execute_job reads it per job).
+            os.environ["REPRO_SNAPSHOT_DIR"] = str(self.cfg.snapshot_dir)
         self.pool = WorkerPool(self.cfg.workers)
         supervisors = [
             asyncio.ensure_future(self._worker_loop(worker))

@@ -1,0 +1,35 @@
+"""Deterministic checkpoint/restore for resumable simulations.
+
+See docs/SNAPSHOT.md. The public surface:
+
+- :class:`SnapshotPlan` / :class:`SnapshotSession` — cadence and delivery
+  (pass a plan or session to ``Simulation.run(snapshots=...)``).
+- :func:`restore_simulation` — checkpoint blob -> quiescent simulation;
+  continue with ``sim.resume()``.
+- :func:`read_header` — provenance without unpickling.
+
+The determinism contract: ``restore_simulation(blob)[0].resume()``
+produces a ``RunResult`` bit-identical to the straight-through run that
+wrote ``blob``, for every revoker, traced or not.
+"""
+
+from repro.snapshot.capture import capture_simulation, restore_simulation
+from repro.snapshot.format import (
+    FORMAT_VERSION,
+    pack_checkpoint,
+    read_header,
+    unpack_checkpoint,
+)
+from repro.snapshot.session import SnapshotPlan, SnapshotSession, SnapshotSink
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SnapshotPlan",
+    "SnapshotSession",
+    "SnapshotSink",
+    "capture_simulation",
+    "restore_simulation",
+    "read_header",
+    "pack_checkpoint",
+    "unpack_checkpoint",
+]

@@ -1,0 +1,96 @@
+"""The checkpoint container format.
+
+A checkpoint is a single self-describing blob::
+
+    magic "RPRSNAP\\x00" | u16 version | u32 header_len |
+    canonical-JSON header | zlib-compressed pickle payload |
+    sha256(everything before it)
+
+The header is uncompressed JSON so ``snapshot inspect`` (and the runner's
+fingerprint check) can read provenance — workload, revoker, epoch,
+sequence number, job fingerprint — without unpickling anything. The
+payload is the pickled simulation graph; zlib matters because the tag and
+capability-base arrays span the whole simulated physical memory and are
+mostly zeros. The trailing digest makes truncation and corruption loud:
+a resumed run must either continue bit-identically or refuse, never limp.
+
+Checkpoint *files* are not the determinism contract — pickling hash-seeded
+containers from two processes can yield different bytes for equal state.
+The contract (docs/SNAPSHOT.md) is on the resumed run's ``RunResult``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import SnapshotError
+
+MAGIC = b"RPRSNAP\x00"
+#: Bump on any incompatible container or payload change.
+FORMAT_VERSION = 1
+
+_FIXED = struct.Struct(">HI")  # version, header length
+_DIGEST_LEN = hashlib.sha256().digest_size
+
+
+def _canonical(header: dict[str, Any]) -> bytes:
+    return json.dumps(
+        header, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def pack_checkpoint(header: dict[str, Any], payload: bytes) -> bytes:
+    """Assemble a checkpoint blob from a JSON-able header and a pickled
+    payload (compressed here)."""
+    hjson = _canonical(header)
+    body = b"".join((
+        MAGIC,
+        _FIXED.pack(FORMAT_VERSION, len(hjson)),
+        hjson,
+        zlib.compress(payload, 6),
+    ))
+    return body + hashlib.sha256(body).digest()
+
+
+def _split(data: bytes) -> tuple[dict[str, Any], bytes]:
+    """Validate framing and checksum; return (header, compressed payload)."""
+    floor = len(MAGIC) + _FIXED.size + _DIGEST_LEN
+    if len(data) < floor:
+        raise SnapshotError(f"checkpoint truncated ({len(data)} bytes)")
+    if data[: len(MAGIC)] != MAGIC:
+        raise SnapshotError("not a repro checkpoint (bad magic)")
+    body, digest = data[:-_DIGEST_LEN], data[-_DIGEST_LEN:]
+    if hashlib.sha256(body).digest() != digest:
+        raise SnapshotError("checkpoint checksum mismatch (corrupt file)")
+    version, hlen = _FIXED.unpack_from(data, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"checkpoint format v{version} unsupported (expected v{FORMAT_VERSION})"
+        )
+    hstart = len(MAGIC) + _FIXED.size
+    if hstart + hlen > len(body):
+        raise SnapshotError("checkpoint header overruns payload")
+    try:
+        header = json.loads(data[hstart : hstart + hlen].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"checkpoint header is not valid JSON: {exc}") from exc
+    return header, body[hstart + hlen :]
+
+
+def read_header(data: bytes) -> dict[str, Any]:
+    """The checkpoint's provenance header, without touching the payload."""
+    header, _ = _split(data)
+    return header
+
+
+def unpack_checkpoint(data: bytes) -> tuple[dict[str, Any], bytes]:
+    """Return (header, decompressed pickle payload)."""
+    header, compressed = _split(data)
+    try:
+        return header, zlib.decompress(compressed)
+    except zlib.error as exc:
+        raise SnapshotError(f"checkpoint payload corrupt: {exc}") from exc

@@ -32,6 +32,12 @@ class Workload(abc.ABC):
     #: Scaled workloads recommend a quarantine policy whose 8 MiB floor is
     #: scaled along with their heap; None means the paper defaults apply.
     quarantine_policy = None
+    #: True when the workload keeps all execution state on picklable
+    #: objects (not generator frames) and parks at snapshot barriers, so
+    #: a checkpoint taken mid-run can be restored with fresh generators.
+    #: See docs/SNAPSHOT.md; ChurnWorkload opts in, the external-protocol
+    #: workloads (pgbench, gRPC) do not.
+    supports_snapshot = False
 
     def thread_bodies(self) -> list[tuple[str, ThreadBody]]:
         """(name, body) for each application thread. Default: one thread

@@ -28,6 +28,7 @@ from repro.machine.capability import Capability
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.core.simulation import AppContext
 from repro.machine.costs import GRANULE_BYTES
+from repro.machine.scheduler import Block
 from repro.workloads.base import Workload
 
 
@@ -114,8 +115,37 @@ class _Obj:
         )
 
 
+class ChurnTask:
+    """Resumable execution state for :meth:`ChurnWorkload.run`.
+
+    Everything the churn program needs across yields lives here rather
+    than in generator frame locals, because generator frames cannot be
+    pickled: a snapshot captures this object (it hangs off the workload,
+    which hangs off the simulation), and a restored run re-enters
+    :meth:`ChurnWorkload.run` with a *fresh* generator that picks up from
+    this state bit-identically.
+    """
+
+    __slots__ = (
+        "rng", "objs", "live_bytes", "freed", "iteration", "phase",
+        "steady_left",
+    )
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.objs: list[_Obj] = []
+        self.live_bytes = 0
+        self.freed = 0
+        self.iteration = 0
+        #: "build" -> "churn" -> "steady" -> "done".
+        self.phase = "build"
+        self.steady_left = 0
+
+
 class ChurnWorkload(Workload):
     """A single-threaded batch program driven by a :class:`ChurnProfile`."""
+
+    supports_snapshot = True
 
     def __init__(
         self,
@@ -128,6 +158,9 @@ class ChurnWorkload(Workload):
         #: Filled in after a run, for tests: iterations actually executed.
         self.iterations_run = 0
         self.stale_loads = 0
+        #: Live execution state; created on first entry to :meth:`run` and
+        #: kept on self so checkpoints capture it.
+        self._task: ChurnTask | None = None
 
     # --- Object helpers ---------------------------------------------------------
 
@@ -154,107 +187,142 @@ class ChurnWorkload(Workload):
 
     def run(self, ctx: "AppContext") -> Generator:
         profile = self.profile
-        rng = random.Random(profile.seed)
-        objs: list[_Obj] = []
-        live_bytes = 0
+        task = self._task
+        if task is None:
+            task = self._task = ChurnTask(random.Random(profile.seed))
 
-        # Build phase: grow the live heap to its target.
-        while live_bytes < profile.heap_bytes:
-            obj = yield from self._alloc_obj(ctx, rng, objs)
-            live_bytes += obj.size
+        # Phase dispatch loop. One pass = one unit of work (an allocation
+        # in the build phase, an iteration in the churn/steady phases), so
+        # a resumed run re-enters exactly at a unit boundary. The snapshot
+        # park sits at the loop top: both the straight path (generator
+        # resumes at the Block yield, `continue`s) and the resumed path
+        # (fresh generator enters the loop) perform one `due()` check
+        # before the next unit — identical control flow, identical RNG.
+        while True:
+            snap = ctx.snapshot
+            if snap is not None and snap.due():
+                yield Block(snap.barrier)
+                continue
+            if task.phase == "build":
+                # Build phase: grow the live heap to its target.
+                if task.live_bytes < profile.heap_bytes:
+                    obj = yield from self._alloc_obj(ctx, task.rng, task.objs)
+                    task.live_bytes += obj.size
+                else:
+                    task.phase = "churn"
+            elif task.phase == "churn":
+                if task.freed < profile.churn_bytes and len(task.objs) > 2:
+                    task.iteration += 1
+                    yield from self._churn_iteration(ctx, task)
+                else:
+                    task.phase = "steady"
+                    task.steady_left = profile.steady_iterations
+            elif task.phase == "steady":
+                # Steady phase: compute and data traffic with no allocator
+                # activity (bzip2/sjeng-style compute dominance).
+                if task.steady_left > 0:
+                    task.steady_left -= 1
+                    yield from self._steady_iteration(ctx, task)
+                else:
+                    task.phase = "done"
+            else:
+                break
 
-        # Churn phase.
-        freed = 0
-        iteration = 0
+        self.iterations_run = task.iteration
+
+    def _churn_iteration(self, ctx: "AppContext", task: ChurnTask) -> Generator:
+        """One churn iteration: free a victim, allocate a replacement,
+        rewire pointers, chase pointers, touch data, compute."""
+        profile = self.profile
+        objs = task.objs
         data_loads, data_stores, data_bytes = profile.data_accesses_per_iter
-        rnd = rng.random
-        while freed < profile.churn_bytes and len(objs) > 2:
-            iteration += 1
-            # Free a random object; its outgoing capabilities and any
-            # capabilities pointing *to* it go stale in memory.
-            victim = objs.pop(int(rnd() * len(objs)))
-            yield from ctx.free(victim.cap)
-            freed += victim.size
+        rnd = task.rng.random
 
-            # Replace it.
-            new_obj = yield from self._alloc_obj(ctx, rng, objs)
-            ctx.registers.set(iteration % 8, new_obj.cap)
+        # Free a random object; its outgoing capabilities and any
+        # capabilities pointing *to* it go stale in memory.
+        victim = objs.pop(int(rnd() * len(objs)))
+        yield from ctx.free(victim.cap)
+        task.freed += victim.size
 
-            cycles = 0
-            nobjs = len(objs)
-            # Pointer rewiring: store capabilities into random slots.
-            for _ in range(profile.cap_stores_per_iter):
-                holder = objs[int(rnd() * nobjs)]
-                if holder.nslots == 0:
-                    continue
-                target = objs[int(rnd() * nobjs)]
-                dst = holder.slot_caps[int(rnd() * holder.nslots)]
-                cycles += ctx.core.store_cap(dst, target.cap).cycles
-            if cycles:
-                yield cycles
+        # Replace it.
+        new_obj = yield from self._alloc_obj(ctx, task.rng, objs)
+        ctx.registers.set(task.iteration % 8, new_obj.cap)
 
-            # Pointer chase: load capabilities (the barriered path) and
-            # dereference the live ones. Cycles accumulate into one yield;
-            # the fault-retry loop charges foreground handling inline.
-            cycles = 0
-            for _ in range(profile.cap_loads_per_iter):
-                holder = objs[int(rnd() * nobjs)]
-                if holder.nslots == 0:
-                    continue
-                src = holder.slot_caps[int(rnd() * holder.nslots)]
-                loaded, load_cycles = ctx.load_cap_inline(src)
-                cycles += load_cycles
-                # Draw the offset unconditionally so the RNG stream (and
-                # hence the whole trace) is identical whether or not the
-                # slot was revoked under this strategy.
-                off_frac = rnd()
-                if loaded is None or not loaded.tag:
-                    self.stale_loads += 1
-                    continue
-                nbytes = min(profile.deref_bytes, loaded.length)
-                if nbytes > 0:
-                    # Dereference at a random offset: the touched-line set
-                    # scales with heap size, not object count.
-                    off = int(off_frac * (loaded.length - nbytes + 1))
-                    cycles += ctx.core.load_data(
-                        loaded.with_address(loaded.base + off), nbytes
-                    ).cycles
-            if cycles:
-                yield cycles
-
-            # Plain data traffic and compute.
-            cycles = 0
-            for _ in range(data_loads):
-                obj = objs[int(rnd() * nobjs)]
-                nbytes = min(data_bytes, obj.size)
-                off = int(rnd() * (obj.size - nbytes + 1))
-                cycles += ctx.core.load_data(
-                    obj.cap.with_address(obj.cap.base + off), nbytes
-                ).cycles
-            for _ in range(data_stores):
-                obj = objs[int(rnd() * nobjs)]
-                nbytes = min(data_bytes, obj.size)
-                start = obj.nslots * GRANULE_BYTES
-                room = obj.size - start - nbytes
-                if room > 0:
-                    start += int(rnd() * room) & ~15
-                if start + nbytes <= obj.size:
-                    dst = obj.cap.with_address(obj.cap.base + start)
-                    cycles += ctx.core.store_data(dst, nbytes).cycles
-            yield cycles + profile.compute_per_iter
-
-        # Steady phase: compute and data traffic with no allocator
-        # activity (bzip2/sjeng-style compute dominance).
-        for _ in range(profile.steady_iterations):
-            cycles = profile.compute_per_iter
-            nobjs = len(objs)
-            for _ in range(data_loads):
-                obj = objs[int(rnd() * nobjs)]
-                nbytes = min(data_bytes, obj.size)
-                off = int(rnd() * (obj.size - nbytes + 1))
-                cycles += ctx.core.load_data(
-                    obj.cap.with_address(obj.cap.base + off), nbytes
-                ).cycles
+        cycles = 0
+        nobjs = len(objs)
+        # Pointer rewiring: store capabilities into random slots.
+        for _ in range(profile.cap_stores_per_iter):
+            holder = objs[int(rnd() * nobjs)]
+            if holder.nslots == 0:
+                continue
+            target = objs[int(rnd() * nobjs)]
+            dst = holder.slot_caps[int(rnd() * holder.nslots)]
+            cycles += ctx.core.store_cap(dst, target.cap).cycles
+        if cycles:
             yield cycles
 
-        self.iterations_run = iteration
+        # Pointer chase: load capabilities (the barriered path) and
+        # dereference the live ones. Cycles accumulate into one yield;
+        # the fault-retry loop charges foreground handling inline.
+        cycles = 0
+        for _ in range(profile.cap_loads_per_iter):
+            holder = objs[int(rnd() * nobjs)]
+            if holder.nslots == 0:
+                continue
+            src = holder.slot_caps[int(rnd() * holder.nslots)]
+            loaded, load_cycles = ctx.load_cap_inline(src)
+            cycles += load_cycles
+            # Draw the offset unconditionally so the RNG stream (and
+            # hence the whole trace) is identical whether or not the
+            # slot was revoked under this strategy.
+            off_frac = rnd()
+            if loaded is None or not loaded.tag:
+                self.stale_loads += 1
+                continue
+            nbytes = min(profile.deref_bytes, loaded.length)
+            if nbytes > 0:
+                # Dereference at a random offset: the touched-line set
+                # scales with heap size, not object count.
+                off = int(off_frac * (loaded.length - nbytes + 1))
+                cycles += ctx.core.load_data(
+                    loaded.with_address(loaded.base + off), nbytes
+                ).cycles
+        if cycles:
+            yield cycles
+
+        # Plain data traffic and compute.
+        cycles = 0
+        for _ in range(data_loads):
+            obj = objs[int(rnd() * nobjs)]
+            nbytes = min(data_bytes, obj.size)
+            off = int(rnd() * (obj.size - nbytes + 1))
+            cycles += ctx.core.load_data(
+                obj.cap.with_address(obj.cap.base + off), nbytes
+            ).cycles
+        for _ in range(data_stores):
+            obj = objs[int(rnd() * nobjs)]
+            nbytes = min(data_bytes, obj.size)
+            start = obj.nslots * GRANULE_BYTES
+            room = obj.size - start - nbytes
+            if room > 0:
+                start += int(rnd() * room) & ~15
+            if start + nbytes <= obj.size:
+                dst = obj.cap.with_address(obj.cap.base + start)
+                cycles += ctx.core.store_data(dst, nbytes).cycles
+        yield cycles + profile.compute_per_iter
+
+    def _steady_iteration(self, ctx: "AppContext", task: ChurnTask) -> Generator:
+        profile = self.profile
+        objs = task.objs
+        data_loads, _, data_bytes = profile.data_accesses_per_iter
+        rnd = task.rng.random
+        cycles = profile.compute_per_iter
+        nobjs = len(objs)
+        for _ in range(data_loads):
+            obj = objs[int(rnd() * nobjs)]
+            nbytes = min(data_bytes, obj.size)
+            off = int(rnd() * (obj.size - nbytes + 1))
+            cycles += ctx.core.load_data(
+                obj.cap.with_address(obj.cap.base + off), nbytes
+            ).cycles
+        yield cycles

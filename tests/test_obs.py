@@ -197,10 +197,76 @@ def test_histogram_rejects_negative():
 
 def test_empty_histogram_serializes_finite():
     d = Histogram().to_dict()
-    assert d == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+    # min/max are null, NOT 0.0 — a restored empty histogram must stay
+    # indistinguishable from a fresh one (regression: to_dict used to
+    # rewrite the empty-state infinities to 0.0).
+    assert d == {"count": 0, "sum": 0.0, "min": None, "max": None,
                  "mean": 0.0, "buckets": {}}
     # Must survive strict JSON (no Infinity literals).
     json.loads(json.dumps(d, allow_nan=False))
+
+
+def test_histogram_quantile_interpolates_within_bucket():
+    # Regression: every interior quantile landing in one power-of-two
+    # bucket used to collapse to that bucket's midpoint, so serve stats
+    # reported service_p50_us == service_p99_us for tight distributions.
+    h = Histogram()
+    for v in range(520, 1020, 5):  # 100 values, all in bucket [512, 1024)
+        h.observe(v)
+    p50, p90, p99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+    assert p50 < p90 < p99
+    # Estimates stay clamped inside the observed range.
+    for p in (p50, p90, p99):
+        assert h.min <= p <= h.max
+    # Monotone in q across the full range.
+    qs = [i / 20 for i in range(21)]
+    estimates = [h.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+
+
+def test_histogram_quantile_monotone_across_buckets():
+    h = Histogram()
+    for v in (1, 2, 4, 8, 700, 701, 702, 703):
+        h.observe(v)
+    qs = [i / 50 for i in range(51)]
+    estimates = [h.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+    assert estimates[0] == h.min and estimates[-1] == h.max
+
+
+def test_empty_histogram_roundtrip_stays_empty():
+    from repro.errors import StatsError
+
+    # Regression: the old 0.0 min/max in to_dict meant a restored empty
+    # histogram had min == 0.0, so a later observe(5) kept min at 0.
+    restored = Histogram.from_dict(
+        json.loads(json.dumps(Histogram().to_dict(), allow_nan=False)))
+    with pytest.raises(StatsError, match="empty"):
+        restored.quantile(0.5)
+    restored.observe(5)
+    assert restored.min == 5
+    assert restored.max == 5
+
+
+def test_histogram_roundtrip_preserves_quantiles():
+    h = Histogram()
+    for v in (3, 17, 100, 900, 900, 901):
+        h.observe(v)
+    restored = Histogram.from_dict(json.loads(json.dumps(h.to_dict())))
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert restored.quantile(q) == h.quantile(q)
+    assert restored.to_dict() == h.to_dict()
+
+
+def test_registry_from_dict_roundtrip():
+    r = MetricsRegistry()
+    r.counter("jobs").inc(7)
+    r.histogram("lat").observe(33)
+    r.histogram("empty")  # created but never observed
+    restored = MetricsRegistry.from_dict(json.loads(json.dumps(r.to_dict())))
+    assert restored.to_dict() == r.to_dict()
+    restored.histogram("empty").observe(2)
+    assert restored.histogram("empty").min == 2
 
 
 def test_registry_create_on_first_use_and_roundtrip():

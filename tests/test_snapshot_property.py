@@ -1,0 +1,83 @@
+"""Property test for the checkpoint determinism contract.
+
+For randomly drawn churn schedules (scale, seed) and every revoker:
+checkpoint → restore → run must equal the straight-through run
+bit-for-bit on the ``result_to_dict`` surface, and restoring the same
+blob twice must give the same answer both times. This is the contract
+the runner's resume path and the serve warm-start both lean on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import RevokerKind, SimulationConfig
+from repro.core.simulation import Simulation
+from repro.runner.serialize import result_to_dict
+from repro.snapshot import SnapshotPlan, restore_simulation
+from repro.workloads import spec
+
+MEMORY_BYTES = 16 << 20
+
+ALL_KINDS = (
+    RevokerKind.NONE,
+    RevokerKind.CHERIVOKE,
+    RevokerKind.CORNUCOPIA,
+    RevokerKind.RELOADED,
+    RevokerKind.PAINT_SYNC,
+)
+
+
+def _build(kind: RevokerKind, scale: int, seed: int) -> Simulation:
+    workload = spec.workload("hmmer", "retro", scale=scale, seed=seed)
+    cfg = SimulationConfig(revoker=kind)
+    cfg.machine.memory_bytes = MEMORY_BYTES
+    return Simulation(workload, cfg)
+
+
+def _plan(kind: RevokerKind) -> SnapshotPlan:
+    # The NONE revoker has no epochs; use a check cadence well under the
+    # smallest schedule length so at least one capture fires.
+    if kind is RevokerKind.NONE:
+        return SnapshotPlan(every_checks=8)
+    return SnapshotPlan(every_epochs=1)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scale=st.integers(min_value=1024, max_value=8192),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_restore_resume_matches_straight_run(kind, scale, seed):
+    straight_sim = _build(kind, scale, seed)
+    straight = result_to_dict(straight_sim.run(snapshots=_plan(kind)))
+    session = straight_sim._snapshots
+    # Tiny schedules can finish before the first epoch closes; the
+    # contract is then vacuous for this example.
+    if not session.captured:
+        return
+    for blob in session.captured:
+        once, _ = restore_simulation(blob)
+        twice, _ = restore_simulation(blob)
+        first = result_to_dict(once.resume())
+        second = result_to_dict(twice.resume())
+        assert first == straight
+        assert second == first
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_snapshots_never_perturb_the_result(seed):
+    plain = result_to_dict(_build(RevokerKind.RELOADED, 4096, seed).run())
+    snapped_sim = _build(RevokerKind.RELOADED, 4096, seed)
+    snapped = result_to_dict(
+        snapped_sim.run(snapshots=SnapshotPlan(every_epochs=1))
+    )
+    assert snapped == plain
