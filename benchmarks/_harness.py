@@ -40,12 +40,14 @@ them inline) and written to ``benchmarks/results/<name>.txt``.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 from pathlib import Path
 
 from repro.core.config import RevokerKind
 from repro.core.metrics import RunResult
+from repro.perf.report import check_overwrite, git_sha
 from repro.runner import Job, ResultCache, WorkloadSpec, run_jobs
 from repro.workloads import spec
 from repro.workloads.grpc_qps import GrpcQpsWorkload
@@ -71,28 +73,59 @@ SPEC_PAIRS = tuple(
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Sidecar recording which commit each results/ artifact was regenerated
+#: at (name -> sha). ``report()`` consults it so a stale working tree
+#: cannot silently clobber figures produced at another commit; set
+#: ``REPRO_BENCH_FORCE=1`` to re-record anyway.
+MANIFEST = RESULTS_DIR / "MANIFEST.json"
 
-def report(name: str, text: str) -> None:
-    """Print a regenerated table/series and persist it.
 
-    Safe under concurrent writers (parallel campaign jobs may report
-    simultaneously): the directory create is idempotent and the file
-    lands via a same-directory temp file + atomic ``os.replace``.
-    """
-    banner = f"\n===== {name} =====\n"
-    print(banner + text + "\n")
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=RESULTS_DIR, prefix=f"{name}.", suffix=".tmp")
+def _read_manifest() -> dict[str, str | None]:
+    try:
+        data = json.loads(MANIFEST.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(text + "\n")
-        os.replace(tmp, RESULTS_DIR / f"{name}.txt")
+            handle.write(text)
+        os.replace(tmp, path)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
+
+
+def report(name: str, text: str) -> None:
+    """Print a regenerated table/series and persist it.
+
+    Refuses to overwrite an artifact the manifest says was recorded at a
+    different commit (``REPRO_BENCH_FORCE=1`` overrides). Safe under
+    concurrent writers (parallel campaign jobs may report
+    simultaneously): the directory create is idempotent and files land
+    via a same-directory temp file + atomic ``os.replace``.
+    """
+    banner = f"\n===== {name} =====\n"
+    print(banner + text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    sha = git_sha()
+    manifest = _read_manifest()
+    if (RESULTS_DIR / f"{name}.txt").exists():
+        check_overwrite(
+            manifest.get(name),
+            sha,
+            f"benchmarks/results/{name}.txt",
+            force=os.environ.get("REPRO_BENCH_FORCE") == "1",
+        )
+    _atomic_write(RESULTS_DIR / f"{name}.txt", text + "\n")
+    manifest[name] = sha
+    _atomic_write(MANIFEST, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
 
 
 def _cache() -> ResultCache | None:

@@ -8,12 +8,15 @@ burst of unique jobs past the admission bound (which must produce
 structured ``overloaded`` rejections, not hangs), and time 5 of the same
 requests the old way — one ``python -m repro run`` subprocess each.
 
-Writes ``BENCH_serve.json`` in the repo root and exits non-zero if any
-request fails, the burst is not rejected, or the service beats the
-spawn baseline by less than 5x. The committed baseline was produced
+Writes ``BENCH_serve.json`` (a schema-v1 perf report; raw phase
+sections under ``detail.raw``) in the repo root and exits non-zero if
+any request fails, the burst is not rejected, or the service beats the
+spawn baseline by less than 5x. Re-recording over a report from a
+different commit requires ``--force`` (passed through, like every other
+flag, to ``repro serve-bench``). The committed baseline was produced
 by::
 
-    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --force
 """
 
 from __future__ import annotations

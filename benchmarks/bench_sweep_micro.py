@@ -1,7 +1,10 @@
 #!/usr/bin/env python
 """Microbenchmark: the vectorized sweep engine vs the scalar reference.
 
-Times the two implementations of the sweep hot loops on identical state:
+Times the two implementations of the sweep hot loops on identical state,
+using the same rigs the continuous-benchmarking registry's ``sweep.*``
+targets run (:mod:`repro.perf.targets` — the standalone script and
+``repro bench`` measure the identical loops):
 
 - **scan**: `Revoker.sweep_page` over a capability-dense heap with
   nothing condemned — the pure probe-all-tagged-granules loop that
@@ -16,12 +19,15 @@ The scalar reference is selected per-pass via ``REPRO_SCALAR=1`` (the
 same escape hatch users have); both passes run in this one process on
 freshly built, identically seeded state.
 
-Writes a JSON report (default ``BENCH_sweep.json`` in the repo root) and
-exits non-zero if any vectorized hot loop fails ``--min-speedup`` (default
-1.0: vectorized must at least not lose). CI runs this as a perf smoke
-test; the committed baseline was produced by::
+Writes a schema-v1 :class:`~repro.perf.report.PerfReport` JSON (default
+``BENCH_sweep.json`` in the repo root; per-pass wall samples under
+``benchmarks``, best-of speedups under ``detail``) and exits non-zero if
+any vectorized hot loop fails ``--min-speedup`` (default 1.0: vectorized
+must at least not lose). An existing report recorded at a different git
+sha is never silently clobbered — pass ``--force`` to re-record. CI runs
+this as a perf smoke test; the committed baseline was produced by::
 
-    PYTHONPATH=src python benchmarks/bench_sweep_micro.py
+    PYTHONPATH=src python benchmarks/bench_sweep_micro.py --force
 """
 
 from __future__ import annotations
@@ -29,7 +35,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -37,108 +42,74 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.kernel.kernel import Kernel  # noqa: E402
-from repro.kernel.revoker import CheriVokeRevoker  # noqa: E402
-from repro.kernel.revoker.base import EpochRecord  # noqa: E402
+from repro.errors import PerfError  # noqa: E402
 from repro.machine.cache import Bus, Cache  # noqa: E402
-from repro.machine.costs import GRANULE_BYTES, PAGE_BYTES  # noqa: E402
-from repro.machine.machine import Machine  # noqa: E402
+from repro.machine.costs import PAGE_BYTES  # noqa: E402
+from repro.perf.registry import WALL  # noqa: E402
+from repro.perf.report import (  # noqa: E402
+    BenchmarkResult,
+    MetricSeries,
+    PerfReport,
+    check_overwrite,
+    git_sha,
+    recorded_sha,
+)
+from repro.perf.targets import (  # noqa: E402
+    build_sweep_rig,
+    cache_stream,
+    sweep_paint,
+    sweep_replant,
+    sweep_scan,
+    sweep_unpaint,
+    sweep_victims,
+)
 
 
-def build_rig(pages: int, caps_per_page: int):
-    """A kernel with a ``pages``-page heap, ``caps_per_page`` capabilities
-    planted per page at even granule spacing."""
-    machine = Machine(memory_bytes=max(8 << 20, 2 * pages * PAGE_BYTES))
-    kernel = Kernel(machine)
-    revoker = kernel.install_revoker(CheriVokeRevoker)
-    heap, _ = kernel.address_space.mmap(pages * PAGE_BYTES)
-    core = machine.cores[2]
-    stride = PAGE_BYTES // caps_per_page
-    assert stride % GRANULE_BYTES == 0
-    for page in range(pages):
-        for i in range(caps_per_page):
-            addr = heap.base + page * PAGE_BYTES + i * stride
-            target = heap.derive(addr, GRANULE_BYTES)
-            core.store_cap(heap.with_address(addr), target)
-    ptes = [
-        machine.pagetable.require(heap.base // PAGE_BYTES + p)
-        for p in range(pages)
-    ]
-    return machine, kernel, revoker, heap, core, ptes
-
-
-def timed(fn, reps: int) -> float:
-    """Best-of-``reps`` wall seconds for one call of ``fn``."""
-    best = float("inf")
+def timed(fn, reps: int) -> list[float]:
+    """Wall seconds per call of ``fn``, one sample per repetition."""
+    samples = []
     for _ in range(reps):
         began = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - began)
-    return best
+        samples.append(time.perf_counter() - began)
+    return samples
 
 
-def bench_scan(pages: int, caps_per_page: int, reps: int) -> float:
-    _, _, revoker, _, core, ptes = build_rig(pages, caps_per_page)
-    record = EpochRecord(epoch=0)
-
-    def scan() -> None:
-        for pte in ptes:
-            revoker.sweep_page(core, pte, record)
-
-    return timed(scan, reps)
+def bench_scan(pages: int, caps_per_page: int, reps: int) -> list[float]:
+    rig = build_sweep_rig(pages, caps_per_page)
+    return timed(lambda: sweep_scan(rig), reps)
 
 
-def bench_revoke(pages: int, caps_per_page: int, reps: int) -> float:
-    _, kernel, revoker, heap, core, ptes = build_rig(pages, caps_per_page)
-    record = EpochRecord(epoch=0)
-    stride = PAGE_BYTES // caps_per_page
-    victims = [
-        (heap.base + page * PAGE_BYTES + i * stride, GRANULE_BYTES)
-        for page in range(pages)
-        for i in range(0, caps_per_page, 2)
-    ]
-
-    def replant() -> None:
-        for addr, _ in victims:
-            core.store_cap(
-                heap.with_address(addr), heap.derive(addr, GRANULE_BYTES)
-            )
-
-    def sweep_all() -> None:
-        for pte in ptes:
-            revoker.sweep_page(core, pte, record)
-
-    best = float("inf")
+def bench_revoke(pages: int, caps_per_page: int, reps: int) -> list[float]:
+    rig = build_sweep_rig(pages, caps_per_page)
+    victims = sweep_victims(rig)
+    samples = []
     for _ in range(reps):
-        replant()
-        for addr, nbytes in victims:
-            kernel.shadow.paint(addr, nbytes)
+        sweep_replant(rig, victims)
+        sweep_paint(rig, victims)
         began = time.perf_counter()
-        sweep_all()
-        best = min(best, time.perf_counter() - began)
-        kernel.shadow.unpaint_many(victims)
-    return best
+        sweep_scan(rig)
+        samples.append(time.perf_counter() - began)
+        sweep_unpaint(rig, victims)
+    return samples
 
 
-def bench_stream(pages: int, reps: int) -> float:
+def bench_stream(pages: int, reps: int) -> list[float]:
     # 16-page cache streaming a larger footprint: steady-state evictions,
     # the background sweep's traffic pattern.
     cache = Cache(Bus(), "bench", capacity_bytes=16 * PAGE_BYTES)
-
-    def stream() -> None:
-        for vpn in range(pages):
-            cache.access_page(vpn)
-
-    return timed(stream, reps)
+    return timed(lambda: cache_stream(cache, pages), reps)
 
 
-def run_pass(scalar: bool, pages: int, caps_per_page: int, reps: int) -> dict:
+def run_pass(
+    scalar: bool, pages: int, caps_per_page: int, reps: int
+) -> dict[str, list[float]]:
     os.environ["REPRO_SCALAR"] = "1" if scalar else "0"
     try:
         return {
-            "scan_s": bench_scan(pages, caps_per_page, reps),
-            "revoke_s": bench_revoke(pages, caps_per_page, max(2, reps // 2)),
-            "stream_s": bench_stream(4 * pages, reps),
+            "scan": bench_scan(pages, caps_per_page, reps),
+            "revoke": bench_revoke(pages, caps_per_page, max(2, reps // 2)),
+            "stream": bench_stream(4 * pages, reps),
         }
     finally:
         os.environ.pop("REPRO_SCALAR", None)
@@ -163,37 +134,61 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small working set and few reps (CI smoke)",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite a report recorded at a different git sha",
+    )
     args = parser.parse_args(argv)
+
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            try:
+                check_overwrite(
+                    recorded_sha(existing), git_sha(), str(args.out), args.force
+                )
+            except PerfError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
 
     pages, caps_per_page, reps = (16, 64, 3) if args.quick else (64, 128, 5)
     scalar = run_pass(True, pages, caps_per_page, reps)
     vector = run_pass(False, pages, caps_per_page, reps)
-    speedups = {
-        key.removesuffix("_s"): scalar[key] / vector[key] for key in scalar
-    }
+    # Best-of comparison, like the original harness: the minimum is the
+    # least-noise estimate of each loop's cost.
+    speedups = {key: min(scalar[key]) / min(vector[key]) for key in scalar}
 
-    report = {
-        "benchmark": "sweep_micro",
-        "config": {
-            "pages": pages,
-            "caps_per_page": caps_per_page,
-            "reps": reps,
-            "quick": args.quick,
-        },
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-        "scalar": scalar,
-        "vectorized": vector,
-        "speedup": {k: round(v, 2) for k, v in speedups.items()},
+    config = {
+        "pages": pages,
+        "caps_per_page": caps_per_page,
+        "reps": reps,
+        "quick": args.quick,
     }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    report = PerfReport(
+        suite="sweep-micro",
+        config=config,
+        benchmarks={
+            f"sweep.{key}" if key != "stream" else "cache.stream": BenchmarkResult(
+                metrics={
+                    "wall_s": MetricSeries(kind=WALL, samples=vector[key]),
+                    "scalar_wall_s": MetricSeries(kind=WALL, samples=scalar[key]),
+                },
+                config=config,
+            )
+            for key in scalar
+        },
+        detail={"speedup": {k: round(v, 2) for k, v in speedups.items()}},
+    )
+    report.save(args.out)
 
     for key, factor in speedups.items():
         print(
-            f"{key:>7}: scalar {scalar[key + '_s'] * 1e3:8.2f} ms  "
-            f"vectorized {vector[key + '_s'] * 1e3:8.2f} ms  "
+            f"{key:>7}: scalar {min(scalar[key]) * 1e3:8.2f} ms  "
+            f"vectorized {min(vector[key]) * 1e3:8.2f} ms  "
             f"speedup {factor:5.2f}x"
         )
     print(f"report written to {args.out}")

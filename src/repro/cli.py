@@ -22,6 +22,11 @@ Commands:
   control, live health/stats (docs/SERVING.md);
 - ``serve-bench`` the serve load generator (closed/open loop, spawn
   baseline, overload burst), writing a JSON report;
+- ``bench``    continuous benchmarking: ``run`` a registered suite with
+  warmup/repetition control, ``compare`` against the content-addressed
+  baseline store (deterministic-cycle regressions exit non-zero;
+  wall-clock noise only warns), ``baseline record/show``, ``list`` the
+  catalog, ``convert`` legacy reports (docs/BENCHMARKING.md);
 - ``list``     the available workloads and strategies (``--json`` for
   machines).
 """
@@ -883,6 +888,10 @@ def build_parser() -> argparse.ArgumentParser:
     psi = ssub.add_parser("inspect", help="print a checkpoint's header")
     psi.add_argument("path")
     p.set_defaults(fn=cmd_snapshot)
+
+    from repro.perf.cli import add_bench_parser
+
+    add_bench_parser(sub)
 
     p = sub.add_parser(
         "serve-bench",

@@ -49,6 +49,12 @@ class StatsError(ReproError, ValueError):
     """
 
 
+class PerfError(ReproError):
+    """The continuous-benchmarking layer was misused (unknown benchmark
+    or suite, malformed perf report, baseline overwrite at a different
+    git commit without force...)."""
+
+
 class SnapshotError(ReproError):
     """A checkpoint could not be taken, parsed, or restored (unsupported
     workload, corrupt or version-mismatched checkpoint file, restore into

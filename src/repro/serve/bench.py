@@ -18,6 +18,12 @@ Three phases, each optional, one JSON report (``BENCH_serve.json``):
 
 ``--autostart`` makes the run self-contained: it forks a daemon on a
 temporary Unix socket, benches it, and drains it afterwards.
+
+The report is a schema-v1 :class:`repro.perf.report.PerfReport`: the
+headline per-phase stats land under ``benchmarks`` (wall metrics only —
+serving throughput is host-dependent), the full raw phase sections under
+``detail.raw``. An existing report recorded at a different git sha is
+never silently clobbered — pass ``--force`` to re-record.
 """
 
 from __future__ import annotations
@@ -36,6 +42,14 @@ from typing import Any, Callable, Sequence
 
 import repro
 from repro.analysis import percentile
+from repro.errors import PerfError
+from repro.perf.report import (
+    check_overwrite,
+    collect_env,
+    convert_legacy,
+    git_sha,
+    recorded_sha,
+)
 from repro.serve.client import Overloaded, RequestFailed, ServeClient, ServeError
 
 
@@ -353,12 +367,30 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="fail unless service/spawn speedup reaches this")
     parser.add_argument("--out", type=Path, default=None,
                         help="write the JSON report here")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite a report recorded at a different git sha")
     args = parser.parse_args(argv)
 
     if args.socket and args.host:
         parser.error("give --socket or --host, not both")
     if not args.socket and not args.host and not args.autostart:
         parser.error("need --socket, --host/--port, or --autostart")
+
+    # Check the overwrite guard up front, before the expensive run — a
+    # refused report after minutes of load generation would be cruel.
+    if args.out is not None and args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            try:
+                check_overwrite(
+                    recorded_sha(existing), git_sha(), str(args.out), args.force
+                )
+            except PerfError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
 
     daemon: subprocess.Popen | None = None
     tmp: tempfile.TemporaryDirectory | None = None
@@ -499,7 +531,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             tmp.cleanup()
 
     if args.out is not None:
-        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        # Wrap the raw phase sections in the schema-v1 envelope: the
+        # converter maps headline stats into per-benchmark wall metrics;
+        # the raw dict rides along verbatim under detail.raw.
+        envelope = convert_legacy(report)
+        envelope.env = collect_env()
+        envelope.detail = {"raw": report}
+        envelope.save(args.out)
         print(f"report written to {args.out}")
     return 1 if failed else 0
 
