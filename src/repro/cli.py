@@ -307,6 +307,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         # Same inheritance: snapshot-capable jobs checkpoint at epoch
         # closes and resume after worker crashes/timeouts (docs/SNAPSHOT.md).
         os.environ["REPRO_SNAPSHOT_DIR"] = args.snapshot_dir
+    if args.warm_start or args.prefix_dir:
+        # Warm-start: jobs sharing a workload prefix fork from one stored
+        # checkpoint instead of cold-simulating the warmup (docs/WARMSTART.md).
+        from repro.snapshot.prefix import default_prefix_dir
+
+        os.environ["REPRO_PREFIX_DIR"] = args.prefix_dir or str(
+            default_prefix_dir()
+        )
 
     if args.dry_run:
         for job in jobs:
@@ -348,6 +356,20 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         title=f"campaign {campaign.name!r}: {len(jobs)} jobs",
     ))
     print(progress.summary())
+
+    if args.results_dir:
+        # One canonical-JSON file per job, named by its trace slug —
+        # byte-comparable across runs (the CI warm-start smoke job cmp's
+        # a cold sweep against a --warm-start rerun).
+        from repro.runner.campaign import job_trace_slug
+        from repro.runner.serialize import dumps_result
+
+        out = Path(args.results_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for job, r in zip(jobs, results):
+            (out / f"{job_trace_slug(job)}.json").write_text(
+                dumps_result(r) + "\n"
+            )
     return 0
 
 
@@ -574,14 +596,94 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         snapshot_dir=args.snapshot_dir,
+        prefix_dir=args.prefix_dir,
     )
     return SimulationServer(config).run()
+
+
+def _cmd_snapshot_prefix(args: argparse.Namespace) -> int:
+    """Warm-start prefix store tools: ``list`` (stored prefixes and
+    their provenance) and ``warm`` (pre-capture every prefix a campaign
+    spec will need). docs/WARMSTART.md."""
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.snapshot import read_header
+    from repro.snapshot.prefix import (
+        PrefixStore,
+        default_prefix_dir,
+        prefix_divergence_epoch,
+        prefix_key,
+    )
+
+    root = Path(args.prefix_dir) if args.prefix_dir else default_prefix_dir()
+    store = PrefixStore(root)
+
+    if args.prefix_cmd == "list":
+        paths = store.paths()
+        if not paths:
+            print(f"no prefixes stored under {root}")
+            return 0
+        rows = []
+        for path in paths:
+            header = read_header(path.read_bytes())
+            rows.append([
+                path.stem[:12],
+                header.get("workload", "?"),
+                header.get("revoker", "?"),
+                header.get("epoch", "?"),
+                path.stat().st_size >> 10,
+            ])
+        print(format_table(
+            ["prefix", "workload", "captured under", "epoch", "KiB"],
+            rows,
+            title=f"{len(paths)} prefixes in {root}",
+        ))
+        return 0
+
+    # warm: run one representative job per missing prefix group so a
+    # later campaign (or serve daemon) starts with every prefix hot.
+    from repro.runner.campaign import CampaignSpec, execute_job, prefix_eligible
+
+    try:
+        data = json.loads(Path(args.spec).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read campaign spec: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"campaign spec is not valid JSON: {exc}") from exc
+    campaign = CampaignSpec.from_dict(data)
+    os.environ["REPRO_PREFIX_DIR"] = str(root)
+    epoch = prefix_divergence_epoch()
+    groups: dict = {}
+    for job in campaign.expand():
+        if prefix_eligible(job):
+            groups.setdefault(prefix_key(job, epoch), job)
+    present = sum(1 for key in groups if key in store)
+    captured = missed = 0
+    for key in sorted(groups):
+        if key in store:
+            continue
+        execute_job(groups[key])
+        if key in store:
+            captured += 1
+        else:
+            # The capture window closed before the threshold poll (tiny
+            # run, early trigger): the campaign will run this group cold.
+            missed += 1
+    print(
+        f"{len(groups)} prefix groups: {present} already stored, "
+        f"{captured} captured, {missed} without a capture window "
+        f"(store: {root})"
+    )
+    return 0
 
 
 def cmd_snapshot(args: argparse.Namespace) -> int:
     """Checkpoint tools: ``save`` (run with checkpointing, keep one),
     ``resume`` (continue a checkpoint to completion), ``inspect``
-    (print a checkpoint's provenance header). docs/SNAPSHOT.md."""
+    (print a checkpoint's provenance header), ``prefix`` (warm-start
+    prefix store; docs/WARMSTART.md). docs/SNAPSHOT.md."""
     import json
     from pathlib import Path
 
@@ -591,6 +693,9 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     def write_result(result, path: str | None) -> None:
         if path:
             Path(path).write_text(dumps_result(result) + "\n")
+
+    if args.snapshot_cmd == "prefix":
+        return _cmd_snapshot_prefix(args)
 
     if args.snapshot_cmd == "inspect":
         try:
@@ -749,6 +854,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint snapshot-capable jobs into this directory "
                         "at every epoch close; killed/timed-out jobs resume "
                         "from their last checkpoint on retry (docs/SNAPSHOT.md)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="share simulation prefixes across the sweep: capture "
+                        "each group's warmup once and fork every sibling job "
+                        "from it (docs/WARMSTART.md)")
+    p.add_argument("--prefix-dir", default=None,
+                   help="warm-start prefix store root (implies --warm-start; "
+                        "default: $REPRO_PREFIX_DIR or ~/.cache/repro/prefixes)")
+    p.add_argument("--results-dir", default=None,
+                   help="write each job's RunResult as canonical JSON into "
+                        "this directory (byte-comparable across runs)")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("trace", help="allocation + observability trace tools")
@@ -850,6 +965,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint snapshot-capable jobs into this directory "
                         "(retried requests resume from the last checkpoint; "
                         "default: $REPRO_SNAPSHOT_DIR)")
+    p.add_argument("--prefix-dir", default=None,
+                   help="warm-start prefix store: workers fork sweep siblings "
+                        "from one shared warmup checkpoint (docs/WARMSTART.md; "
+                        "default: $REPRO_PREFIX_DIR)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -887,6 +1006,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "to the straight-through run's)")
     psi = ssub.add_parser("inspect", help="print a checkpoint's header")
     psi.add_argument("path")
+    psp = ssub.add_parser(
+        "prefix",
+        help="warm-start prefix store tools (docs/WARMSTART.md)",
+    )
+    ppsub = psp.add_subparsers(dest="prefix_cmd", required=True)
+    ppl = ppsub.add_parser("list", help="stored prefixes and their provenance")
+    ppl.add_argument("--prefix-dir", default=None,
+                     help="prefix store root (default: $REPRO_PREFIX_DIR or "
+                          "~/.cache/repro/prefixes)")
+    ppw = ppsub.add_parser(
+        "warm",
+        help="pre-capture every prefix a campaign spec will need",
+    )
+    ppw.add_argument("spec", help="campaign spec JSON file (see docs/RUNNER.md)")
+    ppw.add_argument("--prefix-dir", default=None,
+                     help="prefix store root (default: $REPRO_PREFIX_DIR or "
+                          "~/.cache/repro/prefixes)")
     p.set_defaults(fn=cmd_snapshot)
 
     from repro.perf.cli import add_bench_parser

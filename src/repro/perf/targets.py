@@ -256,6 +256,92 @@ def bench_snapshot_roundtrip(probe: Probe) -> None:
     probe.record("resumed_wall_cycles", result.wall_cycles)
 
 
+@benchmark(
+    "campaign.warmstart",
+    suites=("smoke", "full"),
+    description="four-revoker sweep: warm-start prefix fork vs cold runs",
+    smoke_reps=2,
+    full_reps=3,
+    warmup=0,
+)
+def bench_campaign_warmstart(probe: Probe) -> None:
+    """The tentpole win, measured in deterministic simulated work: run
+    the paper's four-revoker sweep cold, then once more forking the
+    three siblings from the leader's epoch-0 prefix capture
+    (docs/WARMSTART.md). Warm work = leader + sum(follower - prefix),
+    since everything before the capture point is simulated exactly once.
+    The quarantine floor is raised so the shared warmup dominates the
+    run — the regime the warm start targets — while still completing
+    revocation epochs under every strategy."""
+    from repro.alloc.quarantine import QuarantinePolicy
+    from repro.runner.serialize import dumps_result
+    from repro.snapshot import SnapshotSession, fork_simulation, prefix_plan
+
+    kinds = (
+        RevokerKind.PAINT_SYNC,
+        RevokerKind.CHERIVOKE,
+        RevokerKind.CORNUCOPIA,
+        RevokerKind.RELOADED,
+    )
+
+    def build(kind: RevokerKind) -> Simulation:
+        workload = spec.workload("hmmer", "retro", scale=1024, seed=1)
+        cfg = SimulationConfig(revoker=kind)
+        cfg.machine.memory_bytes = 32 << 20
+        cfg.policy = QuarantinePolicy(min_bytes=512 << 10)
+        return Simulation(workload, cfg)
+
+    cold: dict[RevokerKind, str] = {}
+    cold_cycles = 0
+    with probe.time("cold_s"):
+        for kind in kinds:
+            result = build(kind).run()
+            if result.revocations < 1:
+                raise PerfError(
+                    f"campaign.warmstart {kind.value} run completed without "
+                    "revoking; lower the quarantine floor"
+                )
+            cold[kind] = dumps_result(result)
+            cold_cycles += result.wall_cycles
+
+    with probe.time("warm_s"):
+        leader = build(kinds[0])
+        session = SnapshotSession(leader, prefix_plan(0))
+        leader_result = leader.run(snapshots=session)
+        if not session.captured:
+            raise PerfError(
+                "campaign.warmstart leader captured no prefix; the first "
+                "trigger fired before any quiescent poll"
+            )
+        blob = session.captured[-1]
+        capture_wall = session.headers[-1]["wall"]
+        if dumps_result(leader_result) != cold[kinds[0]]:
+            raise PerfError(
+                "campaign.warmstart leader result diverged from its cold run"
+            )
+        warm_cycles = leader_result.wall_cycles
+        for kind in kinds[1:]:
+            forked, _ = fork_simulation(blob, kind)
+            result = forked.resume()
+            if dumps_result(result) != cold[kind]:
+                raise PerfError(
+                    f"campaign.warmstart {kind.value} warm result diverged "
+                    "from its cold run"
+                )
+            warm_cycles += result.wall_cycles - capture_wall
+
+    speedup = cold_cycles / warm_cycles
+    if speedup < 1.8:
+        raise PerfError(
+            f"campaign.warmstart speedup {speedup:.3f}x below the 1.8x "
+            "acceptance floor"
+        )
+    probe.record("cold_cycles", cold_cycles)
+    probe.record("warm_cycles", warm_cycles)
+    probe.record("speedup_milli", round(speedup * 1000))
+    probe.record("prefix_blob_bytes", len(blob))
+
+
 def _traced_run(probe: Probe, kind: RevokerKind) -> None:
     """End-to-end run under the tracer; fold the MetricsRegistry's
     simulated-cycle accounting in as deterministic metrics."""

@@ -9,10 +9,10 @@ everything that determines its :class:`RunResult`:
 - the serialized-result ``FORMAT_VERSION``;
 - a **code fingerprint**: a digest of every simulation-relevant source
   file of the installed ``repro`` package (core, machine, kernel, alloc,
-  workloads, extensions — everything except the runner itself and the
-  presentation layers). Touch the simulator and every cached result
-  silently invalidates; touch only the analysis code and the cache
-  stays warm.
+  workloads, obs, extensions — everything except the runner itself and
+  the tooling layers: analysis, serve, perf, check, the CLI). Touch the
+  simulator and every cached result silently invalidates; touch only
+  tooling and the cache stays warm.
 
 Entries are one JSON file each under ``<root>/objects/<aa>/<hash>.json``
 (first byte of the fingerprint as a fan-out directory). Writes go
@@ -43,8 +43,19 @@ from repro.runner.serialize import (
     result_to_dict,
 )
 
-#: Package sub-trees whose source does not influence simulation results.
-_NON_SIMULATION_PARTS = ("runner", "analysis", "cli.py", "__main__.py")
+#: Package sub-trees whose source does not influence simulation results:
+#: orchestration (runner), presentation (analysis, cli), the serving
+#: daemon, the benchmark harness, and the validation suites. ``obs/``
+#: stays *in* — the tracer and metric observers feed ``RunResult``.
+_NON_SIMULATION_PARTS = (
+    "runner",
+    "analysis",
+    "serve",
+    "perf",
+    "check",
+    "cli.py",
+    "__main__.py",
+)
 
 _code_fingerprint_cache: str | None = None
 

@@ -35,6 +35,7 @@ from repro.core.experiment import run_experiment
 from repro.core.metrics import RunResult
 from repro.errors import ConfigError
 from repro.runner.serialize import canonical_json
+from repro.snapshot.prefix import prefix_store_dir
 from repro.workloads.base import Workload
 
 #: Builds a fresh workload from a spec's keyword parameters.
@@ -210,14 +211,99 @@ def job_trace_slug(job: Job) -> str:
 #: under a revoker, every this-many work-unit polls under NONE.
 _SNAPSHOT_EVERY_CHECKS = 256
 
+#: How the last executed job in this process came by its result:
+#: ``"hit"`` (forked from a stored prefix) or ``"capture"`` (ran cold and
+#: stored the prefix). Module-global so the pool worker can ship it back
+#: over the result pipe alongside the envelope.
+_warm_start_note: str | None = None
+
+
+def _note_warm_start(note: str) -> None:
+    global _warm_start_note
+    _warm_start_note = note
+
+
+def pop_warm_start_note() -> str | None:
+    """Consume the warm-start outcome of the most recent
+    :func:`execute_job` in this process (None = cold, no prefix store)."""
+    global _warm_start_note
+    note = _warm_start_note
+    _warm_start_note = None
+    return note
+
+
+def prefix_eligible(job: Job) -> bool:
+    """Can this job participate in warm-start prefix sharing? The NONE
+    baseline runs a different allocator shim, and only snapshot-capable
+    workloads can park for a capture."""
+    if job.revoker is RevokerKind.NONE:
+        return False
+    try:
+        workload = job.workload.build()
+    except ConfigError:
+        return False
+    return bool(getattr(workload, "supports_snapshot", False))
+
+
+def _run_warm(job: Job, workload: Workload, fingerprint: str) -> RunResult | None:
+    """The warm-start path: fork this job off its group's stored prefix,
+    or run cold while capturing the prefix for the rest of the group.
+    Returns None when a stored prefix exists but cannot be used (corrupt,
+    stale format, tracer mismatch) — the caller then runs cold."""
+    from repro.core.simulation import Simulation
+    from repro.errors import SnapshotError
+    from repro.snapshot import SnapshotSession
+    from repro.snapshot.prefix import (
+        PrefixStore,
+        fork_simulation,
+        prefix_divergence_epoch,
+        prefix_key,
+        prefix_plan,
+    )
+
+    store = PrefixStore(prefix_store_dir())
+    epoch = prefix_divergence_epoch()
+    key = prefix_key(job, epoch)
+    data = store.get(key)
+    if data is not None:
+        try:
+            sim, _header = fork_simulation(data, job.revoker)
+            result = sim.resume()
+        except SnapshotError:
+            # Corrupt, truncated, or incompatible prefix: recompute from
+            # scratch rather than resume wrong state.
+            return None
+        _note_warm_start("hit")
+        return result
+
+    sim = Simulation(workload, build_config(job))
+    session = SnapshotSession(sim, prefix_plan(epoch))
+    session.header_extra["job_fingerprint"] = fingerprint
+    session.header_extra["prefix_key"] = key
+    result = sim.run(snapshots=session)
+    # Captures are buffered, not sunk per rung: only the deepest capture
+    # of the staged ladder is worth keeping, and put_if_absent means two
+    # runs racing on one prefix can never double-store it.
+    if session.captured and store.put_if_absent(key, session.captured[-1]):
+        _note_warm_start("capture")
+    return result
+
 
 def _run_job(job: Job) -> RunResult:
-    """Run — or, given a matching checkpoint, resume — one job's
-    simulation. The determinism contract (docs/SNAPSHOT.md) makes the two
-    indistinguishable from the result side."""
+    """Run — or, given a matching checkpoint or warm-start prefix,
+    resume — one job's simulation. The determinism contract
+    (docs/SNAPSHOT.md, docs/WARMSTART.md) makes the three
+    indistinguishable from the result side.
+
+    Precedence: a further-along matching per-job checkpoint
+    (``REPRO_SNAPSHOT_DIR``) wins over a prefix fork; otherwise warm-start
+    (``REPRO_PREFIX_DIR``) wins over per-epoch checkpointing — a run can
+    only carry one snapshot session, and the prefix capture is the one
+    the rest of the group is waiting on."""
     workload = job.workload.build()
     snap_dir = snapshot_artifact_dir()
-    if snap_dir is None or not getattr(workload, "supports_snapshot", False):
+    warm = prefix_store_dir() is not None and prefix_eligible(job)
+    if snap_dir is None and not warm:
         return run_experiment(workload, job.revoker, build_config(job))
 
     from repro.core.simulation import Simulation
@@ -232,31 +318,41 @@ def _run_job(job: Job) -> RunResult:
     )
 
     fingerprint = job_fingerprint(job)
-    path = snap_dir / f"{job_trace_slug(job)}.ckpt"
-    tmp = path.with_name(path.name + ".tmp")
 
-    def sink(blob: bytes, header: Mapping[str, Any]) -> None:
-        # Atomic replace: a crash mid-write leaves the previous (valid)
-        # checkpoint; the trailing digest catches anything else.
-        snap_dir.mkdir(parents=True, exist_ok=True)
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+    if snap_dir is not None:
+        path = snap_dir / f"{job_trace_slug(job)}.ckpt"
+        tmp = path.with_name(path.name + ".tmp")
 
-    if path.exists():
-        data = path.read_bytes()
-        try:
-            header = read_header(data)
-            if (
-                header.get("job_fingerprint") == fingerprint
-                and header.get("traced") == TRACER.enabled
-            ):
-                sim, _ = restore_simulation(data, sink=sink)
-                return sim.resume()
-        except SnapshotError:
-            # Stale, corrupt, or truncated checkpoint: recompute from
-            # scratch rather than resume wrong state.
-            pass
+        def sink(blob: bytes, header: Mapping[str, Any]) -> None:
+            # Atomic replace: a crash mid-write leaves the previous
+            # (valid) checkpoint; the trailing digest catches anything
+            # else.
+            snap_dir.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
 
+        if path.exists():
+            data = path.read_bytes()
+            try:
+                header = read_header(data)
+                if (
+                    header.get("job_fingerprint") == fingerprint
+                    and header.get("traced") == TRACER.enabled
+                ):
+                    sim, _ = restore_simulation(data, sink=sink)
+                    return sim.resume()
+            except SnapshotError:
+                # Stale, corrupt, or truncated checkpoint: recompute from
+                # scratch rather than resume wrong state.
+                pass
+
+    if warm:
+        result = _run_warm(job, workload, fingerprint)
+        if result is not None:
+            return result
+
+    if snap_dir is None or not getattr(workload, "supports_snapshot", False):
+        return run_experiment(workload, job.revoker, build_config(job))
     sim = Simulation(workload, build_config(job))
     session = SnapshotSession(
         sim,

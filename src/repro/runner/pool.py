@@ -51,9 +51,20 @@ from typing import Sequence
 from repro.core.metrics import RunResult
 from repro.errors import ConfigError, ReproError
 from repro.runner.cache import ResultCache, job_fingerprint
-from repro.runner.campaign import Job, execute_job
+from repro.runner.campaign import (
+    Job,
+    execute_job,
+    pop_warm_start_note,
+    prefix_eligible,
+)
 from repro.runner.progress import CampaignProgress, env_echo
 from repro.runner.serialize import result_from_dict, result_to_dict
+from repro.snapshot.prefix import (
+    PrefixStore,
+    prefix_divergence_epoch,
+    prefix_key,
+    prefix_store_dir,
+)
 
 
 class CampaignJobError(ReproError):
@@ -99,7 +110,7 @@ def _pool_worker(job: Job, conn: Connection) -> None:
     """Worker-process entry: run the job, ship the serialized result."""
     try:
         envelope = result_to_dict(execute_job(job))
-        conn.send(("ok", envelope))
+        conn.send(("ok", envelope, pop_warm_start_note()))
     except BaseException as exc:  # report *everything* before dying
         conn.send(("err", type(exc).__name__, str(exc), traceback.format_exc()))
     finally:
@@ -164,11 +175,15 @@ def run_jobs(
         else:
             followers.setdefault(leader, []).append(i)
 
-    def finish_fresh(i: int, result: RunResult, elapsed: float) -> None:
+    def finish_fresh(
+        i: int, result: RunResult, elapsed: float, note: str | None = None
+    ) -> None:
         results[i] = result
         if cache is not None and fingerprints[i] is not None:
             cache.put(fingerprints[i], result, job=jobs[i])
-        progress.job_finished(jobs[i].describe(), cached=False, elapsed=elapsed)
+        progress.job_finished(
+            jobs[i].describe(), cached=False, elapsed=elapsed, warm=note
+        )
         for dup in followers.get(i, ()):
             # The round-trip hands each duplicate its own equal object,
             # exactly as if it had crossed a worker pipe itself.
@@ -177,15 +192,50 @@ def run_jobs(
 
     if pending and max_workers > 1:
         pending = _run_pooled(
-            jobs, pending, max_workers, timeout_s, progress, finish_fresh
+            jobs,
+            pending,
+            max_workers,
+            timeout_s,
+            progress,
+            finish_fresh,
+            _prefix_gates(jobs, pending),
         )
 
     # In-process path: REPRO_JOBS=1, pool unavailable, or pool leftovers.
     for i in pending:
         began = time.monotonic()
-        finish_fresh(i, execute_job(jobs[i]), time.monotonic() - began)
+        result = execute_job(jobs[i])
+        finish_fresh(i, result, time.monotonic() - began, note=pop_warm_start_note())
 
     return results  # type: ignore[return-value]  # every slot is filled
+
+
+def _prefix_gates(jobs: Sequence[Job], pending: Sequence[int]) -> dict[int, int]:
+    """Map each warm-start follower to the leader whose run will capture
+    its group's prefix.
+
+    With ``REPRO_PREFIX_DIR`` set, pending jobs that share a prefix key
+    whose prefix is not yet stored must not all cold-start concurrently —
+    that would re-simulate the shared warmup once per worker and store
+    whichever capture linked first. Instead the first job of each group
+    runs (and captures) while the rest are held back until it finishes.
+    Groups whose prefix is already stored need no gate: every member
+    forks immediately.
+    """
+    root = prefix_store_dir()
+    if root is None:
+        return {}
+    store = PrefixStore(root)
+    epoch = prefix_divergence_epoch()
+    groups: dict[str, list[int]] = {}
+    for i in pending:
+        if not prefix_eligible(jobs[i]):
+            continue
+        key = prefix_key(jobs[i], epoch)
+        if key in store:
+            continue
+        groups.setdefault(key, []).append(i)
+    return {i: group[0] for group in groups.values() for i in group[1:]}
 
 
 def _run_pooled(
@@ -195,15 +245,30 @@ def _run_pooled(
     timeout_s: float | None,
     progress: CampaignProgress,
     finish_fresh,
+    gates: dict[int, int] | None = None,
 ) -> list[int]:
     """Drain ``pending`` through worker processes.
 
+    ``gates`` (follower index -> leader index) holds warm-start followers
+    out of the queue until their group's prefix capture has finished.
     Returns indices that should run in-process instead (pool could not
     start at all); raises :class:`CampaignJobError` on job failure.
     """
     ctx = _mp_context()
-    queue = list(pending)
+    gates = gates or {}
+    held: dict[int, list[int]] = {}
+    for follower, leader in gates.items():
+        held.setdefault(leader, []).append(follower)
+    queue = [i for i in pending if i not in gates]
     running: dict[int, _Running] = {}
+
+    def finish_and_release(
+        index: int, result: RunResult, elapsed: float, note: str | None = None
+    ) -> None:
+        finish_fresh(index, result, elapsed, note)
+        # The leader is done (prefix stored, or the capture window closed
+        # and the group degrades to cold runs): its followers may go.
+        queue.extend(sorted(held.pop(index, ())))
 
     def launch(index: int, attempt: int) -> bool:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -281,9 +346,18 @@ def _run_pooled(
                     leftovers = [index] + queue
                     queue.clear()
                     while running:
-                        _wait_one(running, progress, finish_fresh, crash_or_retry)
+                        _wait_one(
+                            running, progress, finish_and_release, crash_or_retry
+                        )
+                    # Followers released while draining, then any still
+                    # held: list order keeps each leader ahead of its
+                    # group, so the in-process loop still warm-starts.
+                    leftovers.extend(queue)
+                    leftovers.extend(
+                        sorted(i for group in held.values() for i in group)
+                    )
                     return leftovers
-            _wait_one(running, progress, finish_fresh, crash_or_retry)
+            _wait_one(running, progress, finish_and_release, crash_or_retry)
     except BaseException:
         abort_all()
         raise
@@ -328,6 +402,7 @@ def _wait_one(
                     entry.index,
                     result_from_dict(message[1]),
                     now - entry.started,
+                    message[2] if len(message) > 2 else None,
                 )
             else:
                 _, name, text, trace = message

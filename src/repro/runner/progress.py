@@ -56,20 +56,35 @@ class CampaignProgress:
         self.deduped = 0
         self.retries = 0
         self.failures = 0
+        self.prefix_hits = 0
+        self.prefix_captures = 0
         self._fresh_seconds = 0.0
         self._started = time.monotonic()
 
     # --- Event hooks (called by the pool) --------------------------------
 
-    def job_finished(self, label: str, *, cached: bool, elapsed: float) -> None:
+    def job_finished(
+        self,
+        label: str,
+        *,
+        cached: bool,
+        elapsed: float,
+        warm: str | None = None,
+    ) -> None:
         self.done += 1
         if cached:
             self.cache_hits += 1
         else:
             self.fresh += 1
             self._fresh_seconds += elapsed
+        if warm == "hit":
+            self.prefix_hits += 1
+        elif warm == "capture":
+            self.prefix_captures += 1
         if self.echo is not None:
             origin = "cache" if cached else f"{elapsed:.2f}s"
+            if warm is not None:
+                origin += f", prefix {warm}"
             eta = self.eta_seconds()
             eta_text = f" eta {eta:.0f}s" if eta is not None else ""
             self.echo(
@@ -90,6 +105,11 @@ class CampaignProgress:
             self.echo(f"[retry] {label}: {reason}")
 
     def job_failed(self, label: str, reason: str) -> None:
+        """A job reached a terminal failure. It is *done* — nothing will
+        run it again — so it counts toward ``done`` (else ``summary()``
+        stays short of ``total`` forever and the ETA never reaches zero);
+        ``failures`` keeps the separate tally."""
+        self.done += 1
         self.failures += 1
         if self.echo is not None:
             self.echo(f"[fail] {label}: {reason}")
@@ -102,16 +122,19 @@ class CampaignProgress:
         return self._fresh_seconds / self.fresh
 
     def eta_seconds(self) -> float | None:
-        """Projected seconds to finish the remaining jobs, or None until
-        a fresh job has completed to calibrate on.
+        """Projected seconds to finish the remaining jobs: 0.0 once every
+        job has settled (finished, deduped, or terminally failed), None
+        until a fresh job has completed to calibrate on.
 
         The remaining jobs drain ``workers`` at a time, so the projection
         is mean x ceil(remaining / workers) — not remaining x mean, which
         overestimates by ~the worker count under ``REPRO_JOBS=N``.
         """
-        mean = self.mean_fresh_seconds()
         remaining = self.total - self.done
-        if mean is None or remaining <= 0:
+        if remaining <= 0:
+            return 0.0
+        mean = self.mean_fresh_seconds()
+        if mean is None:
             return None
         workers = max(1, self.workers or 1)
         return mean * math.ceil(remaining / workers)
@@ -136,6 +159,11 @@ class CampaignProgress:
         tail = f" | cache-hits={self.cache_hits} fresh={self.fresh}"
         if self.deduped:
             tail += f" deduped={self.deduped}"
+        if self.prefix_hits or self.prefix_captures:
+            tail += (
+                f" prefix-hits={self.prefix_hits}"
+                f" prefix-captures={self.prefix_captures}"
+            )
         return ", ".join(parts) + tail
 
     def as_dict(self) -> dict[str, Any]:
@@ -147,5 +175,7 @@ class CampaignProgress:
             "deduped": self.deduped,
             "retries": self.retries,
             "failures": self.failures,
+            "prefix_hits": self.prefix_hits,
+            "prefix_captures": self.prefix_captures,
             "elapsed_seconds": self.elapsed_seconds(),
         }

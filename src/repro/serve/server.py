@@ -133,10 +133,19 @@ class ServeConfig:
     #: dead worker's last checkpoint, and repeated fresh executions of a
     #: fingerprint warm-start from the previous run's final checkpoint.
     snapshot_dir: str | Path | None = None
+    #: Directory for the warm-start prefix store (``$REPRO_PREFIX_DIR``
+    #: when unset; see docs/WARMSTART.md). Workers then pre-warm hot
+    #: prefixes organically: the first fresh run of a sweep group
+    #: captures the shared warmup checkpoint and every sibling request —
+    #: same workload, different revoker — forks from it instead of
+    #: cold-simulating.
+    prefix_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.snapshot_dir is None:
             self.snapshot_dir = os.environ.get("REPRO_SNAPSHOT_DIR") or None
+        if self.prefix_dir is None:
+            self.prefix_dir = os.environ.get("REPRO_PREFIX_DIR") or None
         if self.socket_path and self.host:
             raise ConfigError("serve: give a unix socket path or host/port, not both")
         if not self.socket_path and not self.host:
@@ -227,6 +236,9 @@ class SimulationServer:
             # Must land in the environment before the pool forks so every
             # worker inherits it (campaign.execute_job reads it per job).
             os.environ["REPRO_SNAPSHOT_DIR"] = str(self.cfg.snapshot_dir)
+        if self.cfg.prefix_dir is not None:
+            # Same pre-fork rule: workers read it per job to warm-start.
+            os.environ["REPRO_PREFIX_DIR"] = str(self.cfg.prefix_dir)
         self.pool = WorkerPool(self.cfg.workers)
         supervisors = [
             asyncio.ensure_future(self._worker_loop(worker))
@@ -559,11 +571,25 @@ class SimulationServer:
                 future.set_result(outcome)
 
     def _retry_after(self) -> float:
+        """How long an over-admission client should back off.
+
+        Estimate: backlog x mean execution time, spread over the workers
+        *currently alive* — a worker mid-respawn (or a pool already torn
+        down during drain) must not zero the divisor. Before any sample
+        exists the mean falls back to half the configured job timeout (a
+        job is admitted expecting to finish within it), or 0.5 s when no
+        timeout is configured.
+        """
         exec_hist = self.metrics.histogram("serve.exec_us")
-        mean_s = (exec_hist.mean / 1e6) if exec_hist.count else 0.5
+        if exec_hist.count:
+            mean_s = exec_hist.mean / 1e6
+        elif self.cfg.job_timeout_s is not None:
+            mean_s = self.cfg.job_timeout_s / 2
+        else:
+            mean_s = 0.5
         backlog = self._queue.qsize() + self._executing
-        assert self.pool is not None
-        return round(max(0.05, mean_s * backlog / len(self.pool)), 3)
+        workers = max(1, self.pool.alive if self.pool is not None else 0)
+        return round(max(0.05, mean_s * backlog / workers), 3)
 
     # --- Worker supervision ----------------------------------------------
 
@@ -723,6 +749,10 @@ class SimulationServer:
                 round(service.quantile(0.99), 1) if service.count else None
             ),
         }
+        if self.cfg.prefix_dir is not None:
+            from repro.snapshot.prefix import PrefixStore
+
+            derived["warm_prefixes"] = PrefixStore(self.cfg.prefix_dir).entries()
         return ok_response(
             request_id,
             verb="stats",

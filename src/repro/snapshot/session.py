@@ -29,6 +29,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
 #: Sink signature: called with (checkpoint blob, header dict) per capture.
 SnapshotSink = Callable[[bytes, dict], Any]
 
+#: Prefix-mode capture ladder, as multipliers of ``prefix_fraction x
+#: trigger limit``. Stage 0 captures at the first quiescent poll (so a
+#: prefix always exists if the workload polls at all before the first
+#: trigger); later stages upgrade it as quarantine approaches the limit.
+_PREFIX_STAGES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
 
 @dataclass(frozen=True)
 class SnapshotPlan:
@@ -40,12 +46,31 @@ class SnapshotPlan:
     falls back to ``every_checks`` barrier polls (one poll per workload
     work unit); leaving it unset under NONE is an error rather than a
     silent never-captures.
+
+    ``prefix_fraction`` switches the session into **epoch-0 prefix
+    mode** (docs/WARMSTART.md): capture the deepest quiescent poll before
+    the *first* revocation epoch opens. Quarantine can grow by a large
+    bite between polls (one work unit may free more than the remaining
+    headroom), so a single just-below-the-trigger threshold would often
+    be skipped entirely; instead the session captures at a small ladder
+    of thresholds — immediately, then again each time quarantine crosses
+    the next fraction of ``prefix_fraction x trigger limit`` — and the
+    *last* capture (the deepest prefix) is the one worth keeping.
+    Everything captured is revoker-independent (no epoch has run yet),
+    which is what lets the warm-start fork retarget the blob to a
+    different revocation strategy. Once the trigger fires the window has
+    closed and the session retires — safe degradation, never a wrong
+    capture.
     """
 
     every_epochs: int = 1
     every_checks: int | None = None
     #: Stop capturing after this many checkpoints (None = unbounded).
     max_captures: int | None = None
+    #: Epoch-0 prefix mode: capture once quarantine exceeds this fraction
+    #: of the revocation-trigger limit, before the first epoch. Requires
+    #: a revoking strategy (the NONE revoker has no quarantine).
+    prefix_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if self.every_epochs < 1:
@@ -54,6 +79,12 @@ class SnapshotPlan:
             raise SnapshotError(f"every_checks must be >= 1, got {self.every_checks}")
         if self.max_captures is not None and self.max_captures < 1:
             raise SnapshotError(f"max_captures must be >= 1, got {self.max_captures}")
+        if self.prefix_fraction is not None and not (
+            0.0 < self.prefix_fraction <= 1.0
+        ):
+            raise SnapshotError(
+                f"prefix_fraction must be in (0, 1], got {self.prefix_fraction}"
+            )
 
 
 class SnapshotSession:
@@ -77,8 +108,14 @@ class SnapshotSession:
                 "the NONE revoker has no epochs to snapshot at; "
                 "set SnapshotPlan.every_checks"
             )
+        if plan.prefix_fraction is not None and not self._epoch_mode:
+            raise SnapshotError(
+                "prefix capture requires a revoking strategy (the NONE "
+                "revoker has no quarantine to measure the prefix against)"
+            )
         self.next_epoch = plan.every_epochs
         self._checks = 0
+        self._prefix_stage = 0
         self._exhausted = False
         #: Extra provenance merged into every checkpoint header (the
         #: runner stamps its job fingerprint here). Pure data; pickled,
@@ -109,12 +146,34 @@ class SnapshotSession:
         if self._exhausted:
             return False
         if self._epoch_mode:
+            if self.plan.prefix_fraction is not None:
+                return self._prefix_due()
             if self.sim.kernel.epoch.completed < self.next_epoch:
                 return False
             return self._controller_idle()
         assert self.plan.every_checks is not None
         self._checks += 1
         return self._checks >= self.plan.every_checks
+
+    def _prefix_due(self) -> bool:
+        """Epoch-0 prefix mode: walk the capture ladder toward the last
+        quiescent poll before the first revocation trigger. Once a
+        trigger has fired (or an epoch has completed) the shared-prefix
+        window is closed for good, so the session retires instead of
+        polling forever."""
+        mrs = self.sim.mrs
+        if self.sim.kernel.epoch.completed != 0 or mrs._trigger_pending:
+            self._exhausted = True
+            return False
+        quarantined = mrs.quarantine.total_bytes
+        limit = mrs.policy.limit_bytes(mrs.alloc.allocated_bytes, quarantined)
+        assert self.plan.prefix_fraction is not None
+        threshold = (
+            _PREFIX_STAGES[self._prefix_stage] * self.plan.prefix_fraction * limit
+        )
+        if quarantined < threshold:
+            return False
+        return self._controller_idle()
 
     def _controller_idle(self) -> bool:
         controller = self.sim._controller_thread
@@ -134,6 +193,10 @@ class SnapshotSession:
         self.sequence += 1
         if self._epoch_mode:
             self.next_epoch = self.sim.kernel.epoch.completed + self.plan.every_epochs
+            if self.plan.prefix_fraction is not None:
+                self._prefix_stage += 1
+                if self._prefix_stage >= len(_PREFIX_STAGES):
+                    self._exhausted = True
         else:
             self._checks = 0
         if self.plan.max_captures is not None and self.sequence >= self.plan.max_captures:

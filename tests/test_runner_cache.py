@@ -195,3 +195,70 @@ class TestEndToEndInvalidation:
         run_jobs(changed, cache=cache, max_workers=1, progress=progress)
         assert progress.cache_hits == 1
         assert progress.fresh == 1
+
+
+class TestCodeFingerprintScope:
+    """Which sources feed the simulation code fingerprint. Tooling-only
+    changes (runner, serve, perf, check, analysis, CLI) must keep every
+    cached result warm; simulation and observability sources must
+    invalidate."""
+
+    def _tree(self, tmp_path):
+        root = tmp_path / "repro"
+        for sub in ("core", "obs", "runner", "analysis", "serve", "perf", "check"):
+            (root / sub).mkdir(parents=True)
+        (root / "__init__.py").write_text("")
+        (root / "cli.py").write_text("CLI = 1\n")
+        (root / "core" / "simulation.py").write_text("SIM = 1\n")
+        (root / "obs" / "tracer.py").write_text("TRACE = 1\n")
+        (root / "runner" / "pool.py").write_text("POOL = 1\n")
+        (root / "analysis" / "tables.py").write_text("TABLE = 1\n")
+        (root / "serve" / "server.py").write_text("SERVE = 1\n")
+        (root / "perf" / "targets.py").write_text("BENCH = 1\n")
+        (root / "check" / "oracles.py").write_text("CHECK = 1\n")
+        return root
+
+    def _fingerprint(self, root, monkeypatch):
+        import repro
+        import repro.runner.cache as cache_mod
+
+        monkeypatch.setattr(repro, "__file__", str(root / "__init__.py"))
+        monkeypatch.setattr(cache_mod, "_code_fingerprint_cache", None)
+        fp = code_fingerprint()
+        # Drop the per-process memo computed against the fake tree so the
+        # next call (this test's or a later test's) recomputes.
+        cache_mod._code_fingerprint_cache = None
+        return fp
+
+    def test_perf_only_touch_keeps_the_fingerprint(self, tmp_path, monkeypatch):
+        # Regression: serve/, perf/, and check/ postdate the original
+        # exclusion list, so touching a benchmark used to cold-start the
+        # entire result cache.
+        root = self._tree(tmp_path)
+        base = self._fingerprint(root, monkeypatch)
+        (root / "perf" / "targets.py").write_text("BENCH = 2\n")
+        assert self._fingerprint(root, monkeypatch) == base
+
+    def test_all_tooling_layers_are_excluded(self, tmp_path, monkeypatch):
+        root = self._tree(tmp_path)
+        base = self._fingerprint(root, monkeypatch)
+        (root / "serve" / "server.py").write_text("SERVE = 2\n")
+        (root / "check" / "oracles.py").write_text("CHECK = 2\n")
+        (root / "runner" / "pool.py").write_text("POOL = 2\n")
+        (root / "analysis" / "tables.py").write_text("TABLE = 2\n")
+        (root / "cli.py").write_text("CLI = 2\n")
+        (root / "perf" / "extra.py").write_text("NEW = 1\n")
+        assert self._fingerprint(root, monkeypatch) == base
+
+    def test_simulation_sources_still_invalidate(self, tmp_path, monkeypatch):
+        root = self._tree(tmp_path)
+        base = self._fingerprint(root, monkeypatch)
+        (root / "core" / "simulation.py").write_text("SIM = 2\n")
+        assert self._fingerprint(root, monkeypatch) != base
+
+    def test_obs_sources_still_invalidate(self, tmp_path, monkeypatch):
+        # obs/ feeds RunResult.metrics; it stays inside the fingerprint.
+        root = self._tree(tmp_path)
+        base = self._fingerprint(root, monkeypatch)
+        (root / "obs" / "tracer.py").write_text("TRACE = 2\n")
+        assert self._fingerprint(root, monkeypatch) != base

@@ -298,9 +298,34 @@ class TestProgress:
         progress.job_finished("b", cached=False, elapsed=0.5)
         progress.job_finished("c", cached=False, elapsed=0.7)
         assert progress.hit_ratio() == pytest.approx(1 / 3)
-        assert progress.eta_seconds() is None  # nothing remaining
+        assert progress.eta_seconds() == 0.0  # nothing remaining
         summary = progress.summary()
         assert "cache-hits=1 fresh=2" in summary
+
+    def test_terminal_failures_count_toward_done(self):
+        # Regression: job_failed used to leave `done` short, so a
+        # campaign with failures reported N/total forever and the ETA
+        # never converged to zero.
+        progress = CampaignProgress(3)
+        progress.job_finished("a", cached=False, elapsed=1.0)
+        progress.job_failed("b", "worker exited twice")
+        assert progress.done == 2
+        assert progress.failures == 1
+        assert progress.eta_seconds() == pytest.approx(1.0)
+        progress.job_failed("c", "RuntimeError: boom")
+        assert progress.done == 3
+        assert progress.eta_seconds() == 0.0
+        summary = progress.summary()
+        assert summary.startswith("3/3 jobs")
+        assert "2 failed" in summary
+
+    def test_retry_does_not_advance_done(self):
+        # A retried job is still pending; only its terminal outcome
+        # (finished or failed) settles it.
+        progress = CampaignProgress(1)
+        progress.job_retried("a", "timeout after 1.0s")
+        assert progress.done == 0
+        assert progress.retries == 1
 
     def test_summary_mentions_dedup_only_when_present(self):
         progress = CampaignProgress(2)

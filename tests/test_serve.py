@@ -441,6 +441,41 @@ class TestBackpressure:
         finally:
             _stop(server, thread)
 
+    def test_retry_after_hint_reflects_job_timeout_under_load(self, tmp_path):
+        # Wire-level: before any execution sample exists, the hint must
+        # derive from the configured job timeout — not the old hardcoded
+        # 0.5 s mean, which undershot badly for long jobs.
+        server, thread, sock = _start(
+            tmp_path, workers=1, queue_bound=1, no_cache=True,
+            job_timeout_s=6.0,
+        )
+        try:
+            blocker = threading.Thread(
+                target=lambda: _client(sock).run(
+                    "serve-sleepy", {"delay": 0.8, "tag": 500}, revoker="none"
+                )
+            )
+            filler = threading.Thread(
+                target=lambda: _client(sock).run(
+                    "serve-sleepy", {"delay": 0.2, "tag": 501}, revoker="none"
+                )
+            )
+            blocker.start()
+            time.sleep(0.2)
+            filler.start()
+            time.sleep(0.1)
+            with pytest.raises(Overloaded) as excinfo:
+                with _client(sock) as client:
+                    client.run("serve-tiny", {"tag": 502}, revoker="none")
+            # Backlog 2 (one executing, one queued) x 3 s cold-start mean
+            # (half the 6 s timeout) over 1 live worker. The old fallback
+            # would have hinted 1.0 s.
+            assert excinfo.value.retry_after_s >= 3.0
+            blocker.join(timeout=30)
+            filler.join(timeout=30)
+        finally:
+            _stop(server, thread)
+
 
 @needs_fork
 class TestFaultPolicy:
@@ -649,3 +684,63 @@ class TestLifecycle:
             assert derived["service_p99_us"] >= derived["service_p50_us"]
         finally:
             _stop(server, thread)
+
+
+class TestRetryAfterHint:
+    """Unit coverage for the retry_after_s computation: the cold-start
+    fallback derives from the configured job timeout, and an empty or
+    respawning pool can never zero the divisor."""
+
+    def _server(self, tmp_path, **overrides):
+        settings = {"workers": 2, "queue_bound": 4}
+        settings.update(overrides)
+        server = SimulationServer(ServeConfig(
+            socket_path=os.path.join(str(tmp_path), "unused.sock"),
+            **settings,
+        ))
+
+        class _Queue:
+            def qsize(self):
+                return 3
+
+        server._queue = _Queue()
+        server._executing = 1
+        return server
+
+    def test_cold_start_derives_from_job_timeout(self, tmp_path):
+        server = self._server(tmp_path, job_timeout_s=4.0)
+        server.pool = None
+        # mean 2 s (half the timeout) x backlog 4, worker floor of 1.
+        assert server._retry_after() == pytest.approx(8.0)
+
+    def test_cold_start_without_timeout_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_JOB_TIMEOUT", raising=False)
+        server = self._server(tmp_path)
+        server.pool = None
+        assert server._retry_after() == pytest.approx(0.5 * 4)
+
+    def test_dead_pool_does_not_zero_the_divisor(self, tmp_path):
+        # During drain (or mid-respawn) every worker can be gone; the
+        # old len(self.pool) division assumed a healthy pool.
+        server = self._server(tmp_path, job_timeout_s=2.0)
+
+        class _DeadPool:
+            alive = 0
+
+            def __len__(self):
+                return 2
+
+        server.pool = _DeadPool()
+        assert server._retry_after() == pytest.approx(4.0)
+
+    def test_live_workers_spread_the_backlog(self, tmp_path):
+        server = self._server(tmp_path, job_timeout_s=2.0)
+
+        class _Pool:
+            alive = 2
+
+            def __len__(self):
+                return 2
+
+        server.pool = _Pool()
+        assert server._retry_after() == pytest.approx(2.0)
