@@ -45,6 +45,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro import settings
 from repro.core.config import RevokerKind
 from repro.core.metrics import RunResult
 from repro.perf.report import check_overwrite, git_sha
@@ -121,7 +122,7 @@ def report(name: str, text: str) -> None:
             manifest.get(name),
             sha,
             f"benchmarks/results/{name}.txt",
-            force=os.environ.get("REPRO_BENCH_FORCE") == "1",
+            force=settings.bench_force(),
         )
     _atomic_write(RESULTS_DIR / f"{name}.txt", text + "\n")
     manifest[name] = sha

@@ -1,0 +1,91 @@
+"""The stable programmatic surface, in one import.
+
+``repro.api`` re-exports exactly what docs/API.md documents, so
+downstream code can write ``from repro.api import run_experiment,
+Settings, DistributedExecutor`` without memorizing the package layout.
+The contract: every name documented in docs/API.md imports from here
+(tests/test_api.py parses the doc's code fences and checks), and nothing
+prefixed ``_`` is stable anywhere in the package.
+
+The deeper modules stay importable directly — this facade adds a name,
+it never moves one.
+"""
+
+from __future__ import annotations
+
+# Core: configuration, simulation, experiment drivers.
+from repro import __version__
+from repro.core import check_invariants
+from repro.core.config import (
+    MachineConfig,
+    QuarantinePolicy,
+    RevokerKind,
+    SimulationConfig,
+)
+from repro.core.experiment import (
+    compare_strategies,
+    overhead,
+    run_batches,
+    run_experiment,
+)
+from repro.core.metrics import LatencySample, RunResult
+from repro.core.simulation import Simulation
+
+# Settings: the one typed view of every REPRO_* environment knob.
+from repro.settings import Settings
+
+# Errors: the catchable roots.
+from repro.errors import ConfigError, DistError, ReproError
+
+# Campaign runner: declarative sweeps, caching, executors.
+from repro.runner import (
+    CampaignProgress,
+    CampaignSpec,
+    Executor,
+    Job,
+    PoolExecutor,
+    ResultCache,
+    WorkloadSpec,
+    run_campaign,
+    run_jobs,
+)
+
+# Distributed campaigns: sharding across serve daemons.
+from repro.dist import DistributedExecutor, HashRing, NodeSpec, parse_nodes
+
+# Serving: the daemon's client side.
+from repro.serve.client import ServeClient
+
+__all__ = [
+    "CampaignProgress",
+    "CampaignSpec",
+    "ConfigError",
+    "DistError",
+    "DistributedExecutor",
+    "Executor",
+    "HashRing",
+    "Job",
+    "LatencySample",
+    "MachineConfig",
+    "NodeSpec",
+    "PoolExecutor",
+    "QuarantinePolicy",
+    "ReproError",
+    "ResultCache",
+    "RevokerKind",
+    "RunResult",
+    "ServeClient",
+    "Settings",
+    "Simulation",
+    "SimulationConfig",
+    "WorkloadSpec",
+    "check_invariants",
+    "compare_strategies",
+    "overhead",
+    "parse_nodes",
+    "run_batches",
+    "run_campaign",
+    "run_experiment",
+    "run_jobs",
+    "__version__",
+]

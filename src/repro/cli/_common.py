@@ -1,0 +1,85 @@
+"""Helpers shared by the CLI command modules.
+
+Every command lives in its own module exposing one
+``register(subparsers)`` function; what more than one of them needs —
+the strategy/workload argparse plumbing — lives here.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import RevokerKind
+from repro.workloads import spec
+from repro.workloads.base import Workload
+from repro.workloads.grpc_qps import GrpcQpsWorkload
+from repro.workloads.pgbench import PgBenchWorkload
+
+
+def _kind(name: str) -> RevokerKind:
+    """argparse type for strategy arguments: converts to RevokerKind,
+    routing bad names through ``parser.error`` (consistent exit code 2
+    and usage text) via ArgumentTypeError."""
+    try:
+        return RevokerKind(name)
+    except ValueError:
+        valid = ", ".join(k.value for k in RevokerKind)
+        raise argparse.ArgumentTypeError(
+            f"unknown strategy {name!r}; choose from: {valid}"
+        ) from None
+
+
+def _check_workload_name(name: str) -> str:
+    """Validate a workload name, with the catalog in the message.
+
+    Runs post-parse (inside :func:`_workload`) rather than as an
+    argparse type so that programmatic ``main([...])`` callers get a
+    return code instead of ``SystemExit``; the exit code (2) matches
+    argparse's either way.
+    """
+    from repro.errors import ConfigError
+
+    if name in ("pgbench", "grpc"):
+        return name
+    bench, _, inp = name.partition(".")
+    try:
+        inputs = spec.inputs_of(bench)
+    except ConfigError:
+        raise ConfigError(
+            f"unknown workload {name!r} (run 'repro list' for the catalog)"
+        ) from None
+    if inp and inp not in inputs:
+        raise ConfigError(
+            f"unknown input {inp!r} for {bench}; choose from: {', '.join(inputs)}"
+        ) from None
+    return name
+
+
+def _workload(name: str, scale: int, transactions: int, seconds: float) -> Workload:
+    _check_workload_name(name)
+    if name == "pgbench":
+        return PgBenchWorkload(transactions=transactions)
+    if name == "grpc":
+        return GrpcQpsWorkload(duration_seconds=seconds)
+    if "." in name:
+        bench, inp = name.split(".", 1)
+        return spec.workload(bench, inp, scale=scale)
+    return spec.workload(name, scale=scale)
+
+
+def _workload_names() -> list[str]:
+    names = ["pgbench", "grpc"]
+    for bench in spec.BENCHMARKS:
+        for inp in spec.inputs_of(bench):
+            names.append(f"{bench}.{inp}")
+    return names
+
+
+def add_workload_args(p: argparse.ArgumentParser) -> None:
+    """The shared workload-shaping options (run/compare/trace record)."""
+    p.add_argument("--scale", type=int, default=256,
+                   help="byte-quantity divisor for SPEC surrogates")
+    p.add_argument("--transactions", type=int, default=500,
+                   help="pgbench transaction count")
+    p.add_argument("--seconds", type=float, default=0.5,
+                   help="gRPC run duration")

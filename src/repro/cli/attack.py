@@ -1,0 +1,33 @@
+"""``repro attack`` — the adversarial UAF scenario per strategy."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core.experiment import ALL_KINDS, run_experiment
+from repro.workloads.adversarial import UafAttacker
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    rows = []
+    compromised = False
+    for kind in ALL_KINDS:
+        attacker = UafAttacker(rounds=args.rounds)
+        run_experiment(attacker, kind)
+        r = attacker.report
+        verdict = "VULNERABLE" if r.uar_hits else "safe"
+        compromised |= bool(r.uar_hits) and kind.provides_safety
+        rows.append([kind.value, r.uar_hits, r.uaf_reads, r.revoked_probes, verdict])
+    print(format_table(
+        ["strategy", "UAR hits", "UAF reads", "revoked probes", "verdict"],
+        rows,
+        title="use-after-free attack outcomes",
+    ))
+    return 1 if compromised else 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("attack", help="adversarial UAF scenario per strategy")
+    p.add_argument("--rounds", type=int, default=15)
+    p.set_defaults(fn=cmd_attack)

@@ -1,0 +1,133 @@
+"""``repro check`` — schedule exploration with temporal-safety oracles
+attached, and replay of recorded violation artifacts. docs/CHECKING.md."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli._common import _kind
+from repro.core.config import RevokerKind
+from repro.errors import ReproError
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import (
+        Explorer,
+        build_artifact,
+        replay_artifact,
+        scenario as lookup_scenario,
+    )
+
+    if args.mode == "replay":
+        if not args.artifact:
+            raise ReproError("check replay requires an artifact path")
+        result = replay_artifact(args.artifact)
+        for violation in result.violations:
+            print(f"  {violation}")
+        if result.ok:
+            print(f"{args.artifact}: no violation on replay "
+                  f"({result.steps} steps) — the bug it witnessed is gone")
+            return 0
+        print(f"{args.artifact}: violation reproduced "
+              f"({len(result.violations)} violations, {result.steps} steps)")
+        return 1
+
+    try:
+        first, _, last = args.seed_range.partition(":")
+        seeds = range(int(first), int(last))
+    except ValueError:
+        raise ReproError(
+            f"--seed-range wants start:end, got {args.seed_range!r}"
+        ) from None
+    scn = lookup_scenario(args.scenario)
+    explorer = Explorer(
+        scn,
+        revoker=args.revoker,
+        policy_kind=args.policy,
+        window=args.window,
+        workload_seed=args.workload_seed,
+    )
+    progress = None
+    if not args.quiet:
+        def progress(result):  # noqa: ANN001 - SeedResult
+            mark = "ok" if result.ok else f"{len(result.violations)} VIOLATIONS"
+            print(f"  seed {result.seed}: {result.steps} steps, {mark}",
+                  file=sys.stderr, flush=True)
+    report = explorer.explore(
+        seeds, differential=not args.no_differential, progress=progress
+    )
+    print(report.summary())
+    if report.ok:
+        return 0
+
+    out_dir = Path(args.artifact_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for fail in report.failures:
+        artifact = build_artifact(
+            fail,
+            scn.name,
+            args.revoker,
+            args.workload_seed,
+            window=args.window,
+            minimize=not args.no_minimize,
+        )
+        path = out_dir / f"violation-{scn.name}-seed{fail.seed}.json"
+        artifact.save(path)
+        print(f"artifact: {path} (trace {len(artifact.trace)} choices; "
+              f"replay with: repro check replay {path})")
+    if args.timeline and report.failures:
+        from repro.obs import write_chrome_trace
+        from repro.obs.tracer import TRACER, tracing
+
+        with tracing():
+            explorer.run_seed(report.failures[0].seed)
+            events = TRACER.events()
+        count = write_chrome_trace(
+            args.timeline,
+            events,
+            {"scenario": scn.name, "seed": report.failures[0].seed},
+        )
+        print(f"timeline: {args.timeline} ({count} events, "
+              "load in chrome://tracing)")
+    return 1
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "check",
+        help="explore schedules with temporal-safety oracles attached",
+    )
+    p.add_argument("mode", nargs="?", default="explore",
+                   choices=["explore", "replay"],
+                   help="explore a seed range (default) or replay an artifact")
+    p.add_argument("artifact", nargs="?", default=None,
+                   help="violation artifact JSON (replay mode)")
+    p.add_argument("--scenario", default="churn-small",
+                   help="checking scenario (see docs/CHECKING.md)")
+    p.add_argument("--revoker", type=_kind, default=RevokerKind.RELOADED)
+    p.add_argument("--seed-range", default="0:100",
+                   help="schedule seeds start:end (default 0:100)")
+    p.add_argument("--policy", default="random",
+                   choices=["random", "pct", "round-robin"],
+                   help="schedule policy seeded per exploration seed")
+    p.add_argument("--window", type=int, default=0,
+                   help="cycles of clock drift tolerated among candidate "
+                        "cores (0 = exact ties only)")
+    p.add_argument("--workload-seed", type=int, default=0,
+                   help="workload RNG seed (fixed across schedule seeds)")
+    p.add_argument("--no-differential", action="store_true",
+                   help="skip the cross-revoker differential check")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="save failing journals unminimized")
+    p.add_argument("--artifact-dir", default="check-artifacts",
+                   help="directory for violation artifacts (written only "
+                        "on failure)")
+    p.add_argument("--timeline", default=None,
+                   help="on failure, re-run the first failing seed under "
+                        "the tracer and export a chrome://tracing JSON here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-seed progress lines")
+    p.set_defaults(fn=cmd_check)

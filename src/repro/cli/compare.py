@@ -1,0 +1,52 @@
+"""``repro compare`` — one workload under every strategy."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.cli._common import _workload, add_workload_args
+from repro.core.config import RevokerKind
+from repro.core.experiment import (
+    ALL_KINDS,
+    bus_overhead,
+    cpu_overhead,
+    rss_ratio,
+    run_experiment,
+    wall_overhead,
+)
+from repro.machine.costs import cycles_to_micros
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = {}
+    for kind in ALL_KINDS:
+        workload = _workload(args.workload, args.scale, args.transactions, args.seconds)
+        results[kind] = run_experiment(workload, kind)
+    base = results[RevokerKind.NONE]
+    rows = []
+    for kind in ALL_KINDS:
+        r = results[kind]
+        pause = cycles_to_micros(max(r.stw_pauses)) if r.stw_pauses else 0.0
+        rows.append([
+            kind.value,
+            f"{wall_overhead(r, base) * 100:+.1f}%",
+            f"{cpu_overhead(r, base) * 100:+.1f}%",
+            f"{bus_overhead(r, base) * 100:+.0f}%",
+            f"{rss_ratio(r, base):.2f}",
+            r.revocations,
+            f"{pause:.1f}us",
+        ])
+    print(format_table(
+        ["strategy", "wall", "cpu", "bus", "rss", "revocations", "max pause"],
+        rows,
+        title=f"{args.workload}: overhead vs no-revocation baseline",
+    ))
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("compare", help="run one workload under every strategy")
+    p.add_argument("workload")
+    add_workload_args(p)
+    p.set_defaults(fn=cmd_compare)

@@ -1,0 +1,80 @@
+"""``repro dist`` — multi-node campaign tools (docs/DIST.md).
+
+``dist run`` is ``campaign`` with a mandatory ``--nodes`` (same spec
+format, same options, same output); ``dist status`` probes each node and
+prints its health.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.cli.campaign import add_campaign_arguments, cmd_campaign
+
+
+def cmd_dist_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.dist import parse_nodes
+    from repro.serve.client import ServeError
+
+    specs = parse_nodes(args.nodes)
+    rows = []
+    payload = {}
+    down = 0
+    for node_spec in specs:
+        health: dict = {}
+        try:
+            client = node_spec.client(request_timeout=args.timeout, retries=0)
+            with client:
+                health = client.health()
+            alive = True
+        except (ServeError, OSError):
+            alive = False
+            down += 1
+        payload[node_spec.name] = {"alive": alive, **health}
+        workers = health.get("workers") or {}
+        rows.append([
+            node_spec.name,
+            health.get("status", "up") if alive else "DOWN",
+            f"{workers.get('alive', '-')}/{workers.get('configured', '-')}"
+            if alive else "-",
+            health.get("queue_depth", "-") if alive else "-",
+            health.get("in_flight", "-") if alive else "-",
+        ])
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["node", "state", "workers", "queue", "in-flight"],
+            rows,
+            title=f"{len(specs) - down}/{len(specs)} nodes up",
+        ))
+    # Mirror the ring's liveness rule: usable while any node answers.
+    return 0 if down < len(specs) else 1
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "dist",
+        help="multi-node sharded campaigns (docs/DIST.md)",
+    )
+    dsub = p.add_subparsers(dest="dist_cmd", required=True)
+
+    ps = dsub.add_parser("status", help="probe each node and print health")
+    ps.add_argument("--nodes", required=True,
+                    help="comma-separated unix socket paths or host:port")
+    ps.add_argument("--timeout", type=float, default=5.0,
+                    help="per-node probe timeout in seconds")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the probe results as JSON")
+    ps.set_defaults(fn=cmd_dist_status)
+
+    pr = dsub.add_parser(
+        "run",
+        help="run a campaign sharded across serve daemons "
+             "(campaign --nodes, spelled out)",
+    )
+    add_campaign_arguments(pr, nodes_required=True)
+    pr.set_defaults(fn=cmd_campaign)

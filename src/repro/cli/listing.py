@@ -1,0 +1,44 @@
+"""``repro list`` — the workload and strategy catalog."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._common import _workload_names
+from repro.core.config import RevokerKind
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        import json
+
+        from repro.runner.campaign import registered_workloads
+
+        print(json.dumps(
+            {
+                "workloads": _workload_names(),
+                "workload_kinds": list(registered_workloads()),
+                "strategies": [
+                    {"name": kind.value, "provides_safety": kind.provides_safety}
+                    for kind in RevokerKind
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print("workloads:")
+    for name in _workload_names():
+        print(f"  {name}")
+    print("strategies:")
+    for kind in RevokerKind:
+        safety = "temporal safety" if kind.provides_safety else "no safety"
+        print(f"  {kind.value:11s} ({safety})")
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("list", help="available workloads and strategies")
+    p.add_argument("--json", action="store_true",
+                   help="emit the catalog as JSON for machine consumption")
+    p.set_defaults(fn=cmd_list)

@@ -1,0 +1,39 @@
+"""``repro pgbench`` — interactive-latency percentiles per strategy."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table, percentile
+from repro.core.experiment import ALL_KINDS, run_experiment
+from repro.workloads.pgbench import PgBenchWorkload
+
+
+def cmd_pgbench(args: argparse.Namespace) -> int:
+    rows = []
+    for kind in ALL_KINDS:
+        result = run_experiment(
+            PgBenchWorkload(transactions=args.transactions, rate_tps=args.rate),
+            kind,
+        )
+        ms = [s.millis for s in result.latencies]
+        rows.append([
+            kind.value,
+            f"{percentile(ms, 50):.2f}",
+            f"{percentile(ms, 90):.2f}",
+            f"{percentile(ms, 99):.2f}",
+            result.revocations,
+        ])
+    print(format_table(
+        ["strategy", "p50 ms", "p90 ms", "p99 ms", "revocations"],
+        rows,
+        title=f"pgbench latency percentiles ({args.transactions} transactions)",
+    ))
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("pgbench", help="interactive latency percentiles")
+    p.add_argument("--transactions", type=int, default=400)
+    p.add_argument("--rate", type=float, default=None)
+    p.set_defaults(fn=cmd_pgbench)

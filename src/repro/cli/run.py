@@ -1,0 +1,30 @@
+"""``repro run`` — one workload under one strategy."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._common import _kind, _workload, add_workload_args
+from repro.core.experiment import run_experiment
+from repro.machine.costs import cycles_to_micros
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = _workload(args.workload, args.scale, args.transactions, args.seconds)
+    result = run_experiment(workload, args.revoker)
+    print(result.summary())
+    if result.stw_pauses:
+        print(f"pauses: n={len(result.stw_pauses)} "
+              f"max={cycles_to_micros(max(result.stw_pauses)):.1f}us")
+    if result.foreground_faults:
+        print(f"load-barrier faults: {result.foreground_faults} "
+              f"(+{result.spurious_faults} spurious)")
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="run one workload under one strategy")
+    p.add_argument("workload")
+    p.add_argument("revoker", nargs="?", default="reloaded", type=_kind)
+    add_workload_args(p)
+    p.set_defaults(fn=cmd_run)

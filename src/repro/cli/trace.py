@@ -1,0 +1,171 @@
+"""``repro trace`` — allocation traces (synth/stats/replay) and
+structured observability traces (record/summarize/diff/validate/
+export-chrome). docs/OBSERVABILITY.md."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.cli._common import _kind, _workload, add_workload_args
+from repro.core.experiment import run_experiment
+
+
+def _load_summary(path: str):
+    """Read + validate an observability trace and summarize it."""
+    from repro.obs import TraceSummary, read_jsonl, validate_events
+
+    meta, events = read_jsonl(path)
+    validate_events(events)
+    return meta, events, TraceSummary.from_events(events)
+
+
+def _print_summary(path: str, meta: dict, summary) -> None:
+    print(f"{path}: {summary.events} events, "
+          f"{meta.get('dropped', 0)} dropped, "
+          f"{len(summary.epochs)} epochs")
+    if not summary.epochs:
+        return
+    rows = []
+    for e in summary.epochs:
+        rows.append([
+            e.epoch,
+            e.stw_cycles,
+            e.concurrent_cycles,
+            e.fault_count,
+            e.spurious_faults,
+            e.sweep_bus_transactions,
+        ])
+    print(format_table(
+        ["epoch", "stw cyc", "concurrent cyc", "faults", "spurious", "sweep bus"],
+        rows,
+        title="per-epoch breakdown",
+    ))
+    print(f"totals: stw={summary.total_stw_cycles} "
+          f"faults={summary.total_faults} "
+          f"tlb-shootdowns={summary.tlb_shootdowns} "
+          f"cache-evicted-lines={summary.cache_evicted_lines} "
+          f"quarantine filled={summary.quarantine_filled_bytes}B "
+          f"drained={summary.quarantine_drained_bytes}B")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.trace import AllocationTrace, TraceWorkload, synthesize_trace
+
+    if args.trace_cmd == "record":
+        from repro.obs import validate_events, write_chrome_trace, write_jsonl
+        from repro.obs.tracer import DEFAULT_CAPACITY, TRACER
+
+        workload = _workload(
+            args.workload, args.scale, args.transactions, args.seconds
+        )
+        TRACER.start(capacity=args.capacity or DEFAULT_CAPACITY)
+        try:
+            result = run_experiment(workload, args.revoker)
+            events = TRACER.events()
+            dropped = TRACER.dropped
+        finally:
+            TRACER.stop()
+        validate_events(events)
+        meta = {
+            "workload": workload.name,
+            "revoker": args.revoker.value,
+            "wall_cycles": result.wall_cycles,
+            "dropped": dropped,
+        }
+        write_jsonl(args.out, events, meta)
+        print(f"recorded {len(events)} events ({dropped} dropped) to {args.out}")
+        if args.chrome:
+            write_chrome_trace(args.chrome, events, meta)
+            print(f"chrome trace: {args.chrome}")
+        return 0
+    if args.trace_cmd == "summarize":
+        meta, _, summary = _load_summary(args.path)
+        _print_summary(args.path, meta, summary)
+        return 0
+    if args.trace_cmd == "diff":
+        from repro.obs import diff_summaries
+
+        meta_a, _, summary_a = _load_summary(args.a)
+        meta_b, _, summary_b = _load_summary(args.b)
+        rows = diff_summaries(summary_a, summary_b)
+        print(format_table(
+            ["metric", meta_a.get("revoker", "a"), meta_b.get("revoker", "b"), "delta"],
+            rows,
+            title=f"{args.a} vs {args.b}",
+        ))
+        return 0
+    if args.trace_cmd == "validate":
+        from repro.obs import read_jsonl, validate_events
+
+        meta, events = read_jsonl(args.path)
+        count = validate_events(events)
+        print(f"{args.path}: {count} events OK "
+              f"(format v{meta.get('version', '?')}, "
+              f"{meta.get('dropped', 0)} dropped)")
+        return 0
+    if args.trace_cmd == "export-chrome":
+        from repro.obs import read_jsonl, write_chrome_trace
+
+        meta, events = read_jsonl(args.path)
+        write_chrome_trace(args.out, events, meta)
+        print(f"wrote {len(events)} events to {args.out} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+        return 0
+    if args.trace_cmd == "synth":
+        trace = synthesize_trace(
+            objects=args.objects, churn=args.churn, seed=args.seed
+        )
+        trace.save(args.path)
+        print(f"wrote {len(trace)} events to {args.path}: {trace.stats()}")
+        return 0
+    if args.trace_cmd == "stats":
+        trace = AllocationTrace.load(args.path)
+        trace.validate()
+        print(f"{args.path}: {len(trace)} events, well-formed: {trace.stats()}")
+        return 0
+    if args.trace_cmd == "replay":
+        trace = AllocationTrace.load(args.path)
+        workload = TraceWorkload(trace)
+        result = run_experiment(workload, args.revoker)
+        print(result.summary())
+        print(f"replayed {workload.replayed_events} events, "
+              f"{workload.stale_loads} capability loads hit empty or revoked slots")
+        return 0
+    raise SystemExit(f"unknown trace command {args.trace_cmd!r}")
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("trace", help="allocation + observability trace tools")
+    tsub = p.add_subparsers(dest="trace_cmd", required=True)
+    pc = tsub.add_parser("record", help="run a workload and record its event trace")
+    pc.add_argument("workload")
+    pc.add_argument("revoker", nargs="?", default="reloaded", type=_kind)
+    pc.add_argument("--out", default="trace.jsonl",
+                    help="output JSONL path (default: trace.jsonl)")
+    pc.add_argument("--chrome", default=None,
+                    help="also export a chrome://tracing JSON to this path")
+    pc.add_argument("--capacity", type=int, default=None,
+                    help="ring-buffer capacity in events (default: 262144)")
+    add_workload_args(pc)
+    pz = tsub.add_parser("summarize", help="per-epoch breakdown of a recorded trace")
+    pz.add_argument("path")
+    pd = tsub.add_parser("diff", help="compare two recorded traces metric by metric")
+    pd.add_argument("a")
+    pd.add_argument("b")
+    pv = tsub.add_parser("validate", help="check a trace against the event schema")
+    pv.add_argument("path")
+    pe = tsub.add_parser("export-chrome", help="convert a JSONL trace for chrome://tracing")
+    pe.add_argument("path")
+    pe.add_argument("out")
+    ps = tsub.add_parser("synth", help="synthesize a random trace")
+    ps.add_argument("path")
+    ps.add_argument("--objects", type=int, default=200)
+    ps.add_argument("--churn", type=int, default=1000)
+    ps.add_argument("--seed", type=int, default=1)
+    pt = tsub.add_parser("stats", help="validate and summarize a trace")
+    pt.add_argument("path")
+    pr = tsub.add_parser("replay", help="replay a trace under a strategy")
+    pr.add_argument("path")
+    pr.add_argument("revoker", nargs="?", default="reloaded", type=_kind)
+    p.set_defaults(fn=cmd_trace)

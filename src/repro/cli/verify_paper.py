@@ -1,0 +1,71 @@
+"""``repro verify-paper`` — quick spot-checks of encoded paper claims."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import RevokerKind
+from repro.core.experiment import run_experiment
+from repro.workloads.adversarial import UafAttacker
+
+
+def cmd_verify_paper(args: argparse.Namespace) -> int:
+    """Quick spot-checks of encoded paper claims on small runs.
+
+    Not the full harness (pytest benchmarks/ regenerates every figure);
+    this is the five-minute confidence check.
+    """
+    from repro.analysis import paper
+    from repro.analysis.paper import check_ordering, compare
+    from repro.core.experiment import compare_strategies
+    from repro.machine.costs import cycles_to_micros
+    from repro.workloads import spec as spec_mod
+
+    outcomes = []
+
+    # 1. Pause-time ordering on a revoking SPEC surrogate.
+    results = compare_strategies(
+        lambda: spec_mod.workload("hmmer", "retro", scale=args.scale),
+        (RevokerKind.CHERIVOKE, RevokerKind.CORNUCOPIA, RevokerKind.RELOADED),
+    )
+    pauses = {k.value: float(max(r.stw_pauses)) for k, r in results.items()}
+    ok = check_ordering(pauses, ["cherivoke", "cornucopia", "reloaded"])
+    outcomes.append(("pause ordering cherivoke>cornucopia>reloaded", ok))
+
+    # 2. Reloaded single-threaded STW in the tens of microseconds.
+    rel = results[RevokerKind.RELOADED]
+    med = sorted(rel.stw_pauses)[len(rel.stw_pauses) // 2]
+    c = compare(paper.FIG9_RELOADED_STW_US, cycles_to_micros(med))
+    outcomes.append((
+        f"{c.expectation.key}: {c.measured:.1f}us vs paper ~{c.expectation.value:.0f}us",
+        c.ok,
+    ))
+
+    # 3. Reloaded bus traffic at most Cornucopia's.
+    ok = (
+        results[RevokerKind.RELOADED].total_bus_transactions
+        <= results[RevokerKind.CORNUCOPIA].total_bus_transactions
+    )
+    outcomes.append(("reloaded bus <= cornucopia bus", ok))
+
+    # 4. The security property, adversarially.
+    attacker = UafAttacker(rounds=8, churn_objects=60)
+    run_experiment(attacker, RevokerKind.RELOADED)
+    outcomes.append(("no use-after-reallocation under reloaded",
+                     attacker.report.uar_hits == 0))
+
+    failures = 0
+    for label, ok in outcomes:
+        print(f"[{'OK ' if ok else 'OFF'}] {label}")
+        failures += 0 if ok else 1
+    print(
+        f"\n{len(outcomes) - failures}/{len(outcomes)} paper claims verified "
+        "(full regeneration: pytest benchmarks/ --benchmark-only)"
+    )
+    return 1 if failures else 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("verify-paper", help="quick paper-claim spot checks")
+    p.add_argument("--scale", type=int, default=512)
+    p.set_defaults(fn=cmd_verify_paper)

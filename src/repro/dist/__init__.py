@@ -1,0 +1,28 @@
+"""Multi-node sharded campaigns (docs/DIST.md).
+
+A :class:`DistributedExecutor` shards a campaign's job batch across N
+``repro.serve`` daemons by consistent-hashing each job's content
+fingerprint onto a :class:`HashRing` of nodes, streams results back into
+the normal local cache/results layout, and survives node loss with
+bounded retry + rehash failover. It satisfies the
+:class:`~repro.runner.executor.Executor` protocol, so it plugs straight
+into ``run_campaign(spec, executor=...)`` or
+``python -m repro campaign spec.json --nodes a.sock,host:7341``.
+"""
+
+from repro.dist.coordinator import (
+    DistributedExecutor,
+    NodeSpec,
+    parse_nodes,
+)
+from repro.dist.ring import DEFAULT_REPLICAS, HashRing
+from repro.errors import DistError
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "DistError",
+    "DistributedExecutor",
+    "HashRing",
+    "NodeSpec",
+    "parse_nodes",
+]

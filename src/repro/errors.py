@@ -61,6 +61,14 @@ class SnapshotError(ReproError):
     an incompatible tracer configuration...)."""
 
 
+class DistError(ReproError):
+    """The distributed campaign coordinator could not proceed (no node
+    reachable at startup, malformed --nodes list, every node lost
+    mid-campaign...). Per-job terminal failures raise
+    :class:`~repro.runner.pool.CampaignJobError` instead, after the
+    rest of the batch settles."""
+
+
 class ArchitecturalTrap(ReproError):
     """Base class for traps the simulated CPU delivers to the kernel.
 

@@ -19,9 +19,9 @@ cost of the work it gates.
 
 from __future__ import annotations
 
-import os
+from repro import settings
 
 
 def scalar_mode() -> bool:
     """Whether ``REPRO_SCALAR`` forces the scalar reference paths."""
-    return os.environ.get("REPRO_SCALAR", "0") not in ("0", "")
+    return settings.scalar_mode()

@@ -21,12 +21,12 @@ Metric kinds matter downstream: the detector in
 from __future__ import annotations
 
 import fnmatch
-import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro import settings
 from repro.errors import PerfError
 
 #: Metric kind for bit-identical simulated quantities (gated hard).
@@ -52,8 +52,7 @@ class Probe:
         self.mode = mode
         #: metric name -> (kind, value) for this repetition.
         self.metrics: dict[str, tuple[str, float]] = {}
-        inject = os.environ.get(INJECT_ENV)
-        self._inject = float(inject) if inject else None
+        self._inject = settings.perf_inject()
 
     def record(self, name: str, value: float, kind: str = DETERMINISTIC) -> None:
         """Record one metric value for this repetition."""

@@ -14,14 +14,13 @@ silently averaged away.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Callable, Sequence
 
+from repro import settings
 from repro.errors import PerfError
 from repro.perf.registry import (
     DETERMINISTIC,
-    INJECT_ENV,
     WALL,
     BenchmarkDef,
     Probe,
@@ -100,7 +99,7 @@ class Runner:
     ) -> PerfReport:
         if benchmarks is None:
             benchmarks = select(suite=suite, pattern=pattern)
-        inject = os.environ.get(INJECT_ENV)
+        inject = settings.perf_inject()
         report = PerfReport(
             suite=suite,
             config={
@@ -108,7 +107,7 @@ class Runner:
                 "reps_override": self.reps,
                 "warmup_override": self.warmup,
                 "pattern": pattern,
-                "inject": float(inject) if inject else None,
+                "inject": inject,
             },
         )
         nondeterministic: list[str] = []

@@ -42,6 +42,7 @@ from repro.runner.campaign import (
     registered_workloads,
     stable_seed,
 )
+from repro.runner.executor import Executor, PoolExecutor
 from repro.runner.pool import (
     CampaignJobError,
     default_max_workers,
@@ -55,7 +56,9 @@ __all__ = [
     "CampaignProgress",
     "CampaignResult",
     "CampaignSpec",
+    "Executor",
     "Job",
+    "PoolExecutor",
     "ResultCache",
     "WorkloadSpec",
     "build_config",
@@ -99,14 +102,25 @@ def run_campaign(
     cache: ResultCache | None = None,
     timeout_s: float | None = None,
     progress: CampaignProgress | None = None,
+    executor: Executor | None = None,
 ) -> CampaignResult:
-    """Expand a campaign spec and execute its full job matrix."""
+    """Expand a campaign spec and execute its full job matrix.
+
+    ``executor`` picks the backend (default: the local pool); passing
+    both ``executor`` and ``max_workers`` is an error — worker count is
+    the pool backend's knob, configured on :class:`PoolExecutor`.
+    """
     jobs = spec.expand()
     if progress is None:
         progress = CampaignProgress(len(jobs), echo=env_echo())
-    results = run_jobs(
+    if executor is None:
+        executor = PoolExecutor(max_workers=max_workers)
+    elif max_workers is not None:
+        raise ValueError(
+            "run_campaign: pass max_workers or an explicit executor, not both"
+        )
+    results = executor.run(
         jobs,
-        max_workers=max_workers,
         cache=cache,
         timeout_s=timeout_s,
         progress=progress,

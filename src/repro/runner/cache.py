@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 import repro
+from repro import settings
 from repro.core.metrics import RunResult
 from repro.runner.campaign import Job
 from repro.runner.serialize import (
@@ -53,7 +54,11 @@ _NON_SIMULATION_PARTS = (
     "serve",
     "perf",
     "check",
+    "dist",
+    "cli",
     "cli.py",
+    "api.py",
+    "settings.py",
     "__main__.py",
 )
 
@@ -93,7 +98,7 @@ def job_fingerprint(job: Job, code_version: str | None = None) -> str:
         "code": code_version if code_version is not None else code_fingerprint(),
         "job": job.to_dict(),
     }
-    if os.environ.get("REPRO_TRACE_DIR"):
+    if settings.trace_dir() is not None:
         # Traced runs carry the observability metrics fold in their
         # RunResult; keep them from colliding with untraced results.
         material["trace"] = True
@@ -101,9 +106,9 @@ def job_fingerprint(job: Job, code_version: str | None = None) -> str:
 
 
 def default_cache_dir() -> Path:
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
+    env = settings.cache_dir()
+    if env is not None:
+        return env
     return Path.home() / ".cache" / "repro" / "results"
 
 

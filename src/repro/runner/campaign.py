@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import settings
 from repro.core.config import RevokerKind, SimulationConfig
 from repro.core.experiment import run_experiment
 from repro.core.metrics import RunResult
@@ -186,8 +187,7 @@ def trace_artifact_dir() -> Path | None:
     """Where per-job trace JSONL artifacts go (``$REPRO_TRACE_DIR``), or
     None when tracing is off. Inherited by pool worker processes, so the
     whole campaign traces uniformly."""
-    raw = os.environ.get("REPRO_TRACE_DIR")
-    return Path(raw) if raw else None
+    return settings.trace_dir()
 
 
 def snapshot_artifact_dir() -> Path | None:
@@ -196,8 +196,7 @@ def snapshot_artifact_dir() -> Path | None:
     worker processes, so a job killed mid-run (crash, timeout, eviction)
     resumes from its last epoch-close checkpoint on retry instead of
     recomputing completed epochs."""
-    raw = os.environ.get("REPRO_SNAPSHOT_DIR")
-    return Path(raw) if raw else None
+    return settings.snapshot_dir()
 
 
 def job_trace_slug(job: Job) -> str:

@@ -41,15 +41,15 @@ default: none).
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
 import traceback
 from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Sequence
 
+from repro import settings
 from repro.core.metrics import RunResult
-from repro.errors import ConfigError, ReproError
+from repro.errors import ReproError
 from repro.runner.cache import ResultCache, job_fingerprint
 from repro.runner.campaign import (
     Job,
@@ -74,27 +74,11 @@ class CampaignJobError(ReproError):
 
 def default_max_workers() -> int:
     """Worker count from ``REPRO_JOBS`` (0 = all CPUs; default 1)."""
-    raw = os.environ.get("REPRO_JOBS", "1")
-    try:
-        n = int(raw)
-    except ValueError:
-        raise ConfigError(f"REPRO_JOBS={raw!r} is not an integer") from None
-    if n < 0:
-        raise ConfigError(f"REPRO_JOBS must be >= 0, got {n}")
-    return n if n > 0 else (os.cpu_count() or 1)
+    return settings.max_workers()
 
 
 def default_timeout_s() -> float | None:
-    raw = os.environ.get("REPRO_JOB_TIMEOUT")
-    if not raw:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ConfigError(f"REPRO_JOB_TIMEOUT={raw!r} is not a number") from None
-    if value <= 0:
-        raise ConfigError(f"REPRO_JOB_TIMEOUT must be > 0 seconds, got {value}")
-    return value
+    return settings.job_timeout_s()
 
 
 def _mp_context():

@@ -12,10 +12,11 @@ CI smoke job greps it).
 from __future__ import annotations
 
 import math
-import os
 import sys
 import time
 from typing import Any, Callable
+
+from repro import settings
 
 Echo = Callable[[str], None]
 
@@ -26,7 +27,7 @@ def _default_echo(line: str) -> None:
 
 def env_echo() -> Echo | None:
     """The echo callable implied by ``REPRO_PROGRESS`` (None = silent)."""
-    if os.environ.get("REPRO_PROGRESS", "0") not in ("0", ""):
+    if settings.progress_enabled():
         return _default_echo
     return None
 

@@ -267,6 +267,41 @@ class ServeClient:
             service_s=float(response.get("service_s", 0.0)),
         )
 
+    def prefix_fetch(
+        self, key: str, timeout: float | None = None
+    ) -> bytes | None:
+        """Pull one warm-start prefix blob from the daemon's store.
+
+        Returns None on a miss (the ``not-found`` error code) so the
+        dist coordinator can degrade to a cold run without exception
+        plumbing; every other failure raises as usual.
+        """
+        import base64
+
+        try:
+            response = self.request(
+                "prefix-fetch", {"key": key}, timeout=timeout or 30.0
+            )
+        except RequestFailed as exc:
+            if exc.code == "not-found":
+                return None
+            raise
+        return base64.b64decode(response["blob"])
+
+    def prefix_put(
+        self, key: str, blob: bytes, timeout: float | None = None
+    ) -> bool:
+        """Push one prefix blob into the daemon's store (first-writer-
+        wins). Returns True iff this call stored it."""
+        import base64
+
+        response = self.request(
+            "prefix-put",
+            {"key": key, "blob": base64.b64encode(blob).decode("ascii")},
+            timeout=timeout or 30.0,
+        )
+        return bool(response.get("stored"))
+
     def health(self) -> dict[str, Any]:
         return self.request("health", timeout=5.0)
 

@@ -19,6 +19,13 @@ Verbs:
 - ``stats``    the full metrics registry dump plus derived figures
   (cache hit rate, p50/p99 service latency);
 - ``list``     the workload/strategy catalog, for client discovery;
+- ``prefix-fetch`` read one warm-start prefix blob out of the daemon's
+  prefix store (``{"key": <hex>}`` → ``{"blob": <base64>}`` or
+  ``not-found``); the dist coordinator uses it to pull a freshly
+  captured prefix off the node that won the capture race;
+- ``prefix-put`` store one prefix blob (``{"key": <hex>, "blob":
+  <base64>}`` → ``{"stored": <bool>}``, first-writer-wins); how the
+  coordinator pre-warms the other nodes in the ring (docs/DIST.md);
 - ``shutdown`` begin a graceful drain (same as SIGTERM).
 
 Responses are ``{"id":..., "ok": true, ...}`` or ``{"id":..., "ok":
@@ -38,12 +45,22 @@ from typing import Any, Mapping
 from repro.errors import ReproError
 
 #: Bumped when a request or response field changes meaning.
-PROTOCOL_VERSION = 1
+#: v2: added the ``prefix-fetch``/``prefix-put`` verbs and ``not-found``.
+PROTOCOL_VERSION = 2
 
 #: Default cap on one request line (the daemon's knob can override).
 DEFAULT_MAX_LINE_BYTES = 1 << 20
 
-KNOWN_VERBS = ("ping", "run", "health", "stats", "list", "shutdown")
+KNOWN_VERBS = (
+    "ping",
+    "run",
+    "health",
+    "stats",
+    "list",
+    "prefix-fetch",
+    "prefix-put",
+    "shutdown",
+)
 
 # Error codes.
 E_BAD_REQUEST = "bad-request"        # malformed JSON / missing fields
@@ -53,6 +70,7 @@ E_INVALID_JOB = "invalid-job"        # job failed declarative validation
 E_OVERLOADED = "overloaded"          # admission queue full; retry later
 E_DEADLINE = "deadline"              # per-request deadline expired
 E_JOB_FAILED = "job-failed"          # worker raised / crashed twice
+E_NOT_FOUND = "not-found"            # prefix-fetch key not in the store
 E_SHUTTING_DOWN = "shutting-down"    # daemon is draining
 E_INTERNAL = "internal"              # unexpected server-side error
 

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import settings
 from repro.core.config import RevokerKind
 from repro.errors import ConfigError
 from repro.obs.metrics import MetricsRegistry
@@ -58,6 +59,7 @@ from repro.serve.protocol import (
     E_INTERNAL,
     E_INVALID_JOB,
     E_JOB_FAILED,
+    E_NOT_FOUND,
     E_OVERLOADED,
     E_OVERSIZED,
     E_SHUTTING_DOWN,
@@ -75,42 +77,15 @@ from repro.serve.workers import WorkerPool, Worker, conn_recv
 
 
 def default_serve_workers() -> int:
-    raw = os.environ.get("REPRO_SERVE_WORKERS", "2")
-    try:
-        n = int(raw)
-    except ValueError:
-        raise ConfigError(f"REPRO_SERVE_WORKERS={raw!r} is not an integer") from None
-    if n < 1:
-        raise ConfigError(f"REPRO_SERVE_WORKERS must be >= 1, got {n}")
-    return n
+    return settings.serve_workers()
 
 
 def default_queue_bound() -> int:
-    raw = os.environ.get("REPRO_SERVE_QUEUE", "64")
-    try:
-        n = int(raw)
-    except ValueError:
-        raise ConfigError(f"REPRO_SERVE_QUEUE={raw!r} is not an integer") from None
-    if n < 1:
-        raise ConfigError(f"REPRO_SERVE_QUEUE must be >= 1, got {n}")
-    return n
+    return settings.serve_queue()
 
 
 def default_serve_job_timeout() -> float | None:
-    raw = os.environ.get("REPRO_SERVE_JOB_TIMEOUT")
-    if not raw:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ConfigError(
-            f"REPRO_SERVE_JOB_TIMEOUT={raw!r} is not a number"
-        ) from None
-    if value <= 0:
-        raise ConfigError(
-            f"REPRO_SERVE_JOB_TIMEOUT must be > 0 seconds, got {value}"
-        )
-    return value
+    return settings.serve_job_timeout_s()
 
 
 @dataclass
@@ -143,9 +118,11 @@ class ServeConfig:
 
     def __post_init__(self) -> None:
         if self.snapshot_dir is None:
-            self.snapshot_dir = os.environ.get("REPRO_SNAPSHOT_DIR") or None
+            env_snap = settings.snapshot_dir()
+            self.snapshot_dir = str(env_snap) if env_snap is not None else None
         if self.prefix_dir is None:
-            self.prefix_dir = os.environ.get("REPRO_PREFIX_DIR") or None
+            env_prefix = settings.prefix_dir()
+            self.prefix_dir = str(env_prefix) if env_prefix is not None else None
         if self.socket_path and self.host:
             raise ConfigError("serve: give a unix socket path or host/port, not both")
         if not self.socket_path and not self.host:
@@ -235,10 +212,10 @@ class SimulationServer:
         if self.cfg.snapshot_dir is not None:
             # Must land in the environment before the pool forks so every
             # worker inherits it (campaign.execute_job reads it per job).
-            os.environ["REPRO_SNAPSHOT_DIR"] = str(self.cfg.snapshot_dir)
+            settings.set_env("snapshot_dir", str(self.cfg.snapshot_dir))
         if self.cfg.prefix_dir is not None:
             # Same pre-fork rule: workers read it per job to warm-start.
-            os.environ["REPRO_PREFIX_DIR"] = str(self.cfg.prefix_dir)
+            settings.set_env("prefix_dir", str(self.cfg.prefix_dir))
         self.pool = WorkerPool(self.cfg.workers)
         supervisors = [
             asyncio.ensure_future(self._worker_loop(worker))
@@ -427,6 +404,10 @@ class SimulationServer:
             return self._handle_stats(request.id)
         if request.verb == "list":
             return self._handle_list(request.id)
+        if request.verb == "prefix-fetch":
+            return await self._handle_prefix_fetch(request)
+        if request.verb == "prefix-put":
+            return await self._handle_prefix_put(request)
         if request.verb == "shutdown":
             self.request_shutdown()
             return ok_response(request.id, verb="shutdown", draining=True)
@@ -775,4 +756,74 @@ class SimulationServer:
                 {"name": kind.value, "provides_safety": kind.provides_safety}
                 for kind in RevokerKind
             ],
+        )
+
+    # --- The prefix transfer verbs (the dist coordinator's channel) -------
+
+    def _prefix_request_key(self, request: Request) -> str | dict[str, Any]:
+        if self.cfg.prefix_dir is None:
+            return error_response(
+                request.id,
+                E_BAD_REQUEST,
+                "daemon has no prefix store (start it with --prefix-dir)",
+            )
+        key = request.payload.get("key")
+        if not isinstance(key, str) or not key:
+            return error_response(
+                request.id, E_BAD_REQUEST, "prefix verbs need a string 'key'"
+            )
+        return key
+
+    async def _handle_prefix_fetch(self, request: Request) -> dict[str, Any]:
+        import base64
+
+        from repro.snapshot.prefix import PrefixStore
+
+        key = self._prefix_request_key(request)
+        if isinstance(key, dict):
+            return key
+        store = PrefixStore(self.cfg.prefix_dir)
+        assert self._loop is not None
+        blob = await self._loop.run_in_executor(None, store.get, key)
+        if blob is None:
+            self.metrics.counter("serve.prefix_misses").inc()
+            return error_response(
+                request.id, E_NOT_FOUND, f"no prefix {key} in the store"
+            )
+        self.metrics.counter("serve.prefix_fetches").inc()
+        return ok_response(
+            request.id,
+            verb="prefix-fetch",
+            key=key,
+            blob=base64.b64encode(blob).decode("ascii"),
+        )
+
+    async def _handle_prefix_put(self, request: Request) -> dict[str, Any]:
+        import base64
+        import binascii
+
+        from repro.snapshot.prefix import PrefixStore
+
+        key = self._prefix_request_key(request)
+        if isinstance(key, dict):
+            return key
+        encoded = request.payload.get("blob")
+        if not isinstance(encoded, str) or not encoded:
+            return error_response(
+                request.id, E_BAD_REQUEST, "prefix-put needs a base64 'blob'"
+            )
+        try:
+            blob = base64.b64decode(encoded, validate=True)
+        except (binascii.Error, ValueError) as exc:
+            return error_response(
+                request.id, E_BAD_REQUEST, f"blob is not valid base64: {exc}"
+            )
+        store = PrefixStore(self.cfg.prefix_dir)
+        assert self._loop is not None
+        stored = await self._loop.run_in_executor(
+            None, store.put_if_absent, key, blob
+        )
+        self.metrics.counter("serve.prefix_puts").inc()
+        return ok_response(
+            request.id, verb="prefix-put", key=key, stored=stored
         )

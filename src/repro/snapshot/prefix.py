@@ -45,8 +45,9 @@ import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro import settings
 from repro.core.config import RevokerKind
-from repro.errors import ConfigError, SnapshotError
+from repro.errors import SnapshotError
 from repro.snapshot.capture import restore_simulation
 from repro.snapshot.session import SnapshotPlan
 
@@ -63,9 +64,9 @@ PREFIX_FRACTION = 0.85
 
 def default_prefix_dir() -> Path:
     """``$REPRO_PREFIX_DIR``, else ``~/.cache/repro/prefixes``."""
-    env = os.environ.get("REPRO_PREFIX_DIR")
-    if env:
-        return Path(env)
+    env = settings.prefix_dir()
+    if env is not None:
+        return env
     return Path.home() / ".cache" / "repro" / "prefixes"
 
 
@@ -73,23 +74,13 @@ def prefix_store_dir() -> Path | None:
     """Where warm-start prefixes live (``$REPRO_PREFIX_DIR``), or None
     when warm-starting is off. Inherited by pool and serve workers, the
     same way trace/snapshot artifact dirs are."""
-    raw = os.environ.get("REPRO_PREFIX_DIR")
-    return Path(raw) if raw else None
+    return settings.prefix_dir()
 
 
 def prefix_divergence_epoch() -> int:
     """The divergence epoch for runner-managed prefixes
     (``$REPRO_PREFIX_EPOCH``, default 0 — the cross-revoker point)."""
-    raw = os.environ.get("REPRO_PREFIX_EPOCH")
-    if not raw:
-        return 0
-    try:
-        epoch = int(raw)
-    except ValueError:
-        raise ConfigError(f"REPRO_PREFIX_EPOCH={raw!r} is not an integer") from None
-    if epoch < 0:
-        raise ConfigError(f"REPRO_PREFIX_EPOCH must be >= 0, got {epoch}")
-    return epoch
+    return settings.prefix_epoch()
 
 
 def prefix_key(
@@ -126,7 +117,7 @@ def prefix_key(
         "code": code_version if code_version is not None else code_fingerprint(),
         "snapshot_format": FORMAT_VERSION,
         "result_format": RESULT_FORMAT_VERSION,
-        "traced": bool(os.environ.get("REPRO_TRACE_DIR")),
+        "traced": settings.trace_dir() is not None,
     }
     return hashlib.sha256(canonical_json(material).encode()).hexdigest()
 
